@@ -1,0 +1,64 @@
+"""Shared fixtures for the benchmark suite.
+
+The benches reproduce the paper's tables and figures at laptop scale.  One
+full experiment (all 17 queries x all 4 engine configurations x the scaled
+document sizes) is executed once per session and shared by the table/figure
+benches; each bench additionally times a representative operation through
+pytest-benchmark so that ``--benchmark-only`` reports meaningful numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import BenchmarkHarness, ExperimentConfig
+from repro.generator import DblpGenerator, GeneratorConfig
+from repro.queries import ALL_QUERIES
+from repro.sparql import ENGINE_PRESETS, NATIVE_OPTIMIZED, SparqlEngine
+
+#: Scaled-down document sizes standing in for the paper's 10k...25M triples.
+#: The smallest size must still reach the year 1940 so that the fixed query
+#: entry points (Journal 1 (1940), Paul Erdoes) exist, as in the paper.
+BENCH_DOCUMENT_SIZES = (1_000, 2_500, 5_000)
+
+#: Per-query timeout (seconds); the paper uses 30 minutes on native engines.
+BENCH_TIMEOUT = 5.0
+
+
+@pytest.fixture(scope="session")
+def bench_documents():
+    """Pre-generated documents shared by all benches: size -> (graph, time, stats)."""
+    config = ExperimentConfig(document_sizes=BENCH_DOCUMENT_SIZES)
+    return BenchmarkHarness(config).generate_documents()
+
+
+@pytest.fixture(scope="session")
+def experiment_report(bench_documents):
+    """The full SP2Bench experiment over all queries, engines, and sizes."""
+    config = ExperimentConfig(
+        document_sizes=BENCH_DOCUMENT_SIZES,
+        engines=ENGINE_PRESETS,
+        queries=ALL_QUERIES,
+        timeout=BENCH_TIMEOUT,
+        trace_memory=True,
+    )
+    return BenchmarkHarness(config).run(bench_documents)
+
+
+@pytest.fixture(scope="session")
+def medium_graph(bench_documents):
+    """The largest shared benchmark document."""
+    graph, _time, _stats = bench_documents[BENCH_DOCUMENT_SIZES[-1]]
+    return graph
+
+
+@pytest.fixture(scope="session")
+def native_engine(medium_graph):
+    return SparqlEngine.from_graph(medium_graph, NATIVE_OPTIMIZED)
+
+
+def generate_document(size, seed=823645187):
+    """Helper used by generation benches."""
+    generator = DblpGenerator(GeneratorConfig(triple_limit=size, seed=seed))
+    count = sum(1 for _ in generator.triples())
+    return count, generator.statistics

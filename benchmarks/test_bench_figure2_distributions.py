@@ -1,0 +1,93 @@
+"""Figure 2 — the DBLP distributions the generator mirrors.
+
+(a) distribution of outgoing citations per citing document (Gaussian),
+(b) document-class instances per year (logistic growth),
+(c) number of authors with x publications (power law).
+
+The bench prints the fitted-model series next to the series measured from a
+generated document and asserts the qualitative shape for each subfigure.
+"""
+
+import pytest
+
+from repro.analysis import (
+    citation_distribution_series,
+    document_class_series,
+    publication_count_series,
+)
+from repro.generator import DblpGenerator, GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def citation_rich_graph():
+    """A document generated with every citation targeted, so Figure 2(a) has
+    enough mass to compare against the Gaussian model."""
+    generator = DblpGenerator(GeneratorConfig(triple_limit=6_000, seed=101))
+    generator._citations._untargeted_fraction = 0.0
+    return generator.graph()
+
+
+def test_figure2a_citation_distribution(benchmark, citation_rich_graph):
+    """Fig. 2(a): outgoing citations per citing document follow d_cite."""
+    series = benchmark.pedantic(
+        lambda: citation_distribution_series(citation_rich_graph, max_citations=50),
+        rounds=1, iterations=1,
+    )
+    model = dict(series["model"])
+    measured = dict(series["measured"] or [])
+    print("\nFigure 2(a) — P(x citations): x, model, measured")
+    for x in (1, 5, 10, 17, 25, 40):
+        print(f"  {x:>3}  {model[x]:.4f}  {measured.get(x, 0.0):.4f}")
+    # Model shape: peak near mu=16.82.
+    assert model[17] > model[3]
+    assert model[17] > model[40]
+    # Measured mass concentrates in the model's central region (5..35).
+    central = sum(p for x, p in measured.items() if 5 <= x <= 35)
+    tails = sum(p for x, p in measured.items() if x < 5 or x > 35)
+    if measured:
+        assert central >= tails
+
+
+def test_figure2b_document_class_growth(benchmark, medium_graph):
+    """Fig. 2(b): class instances per year follow the logistic curves."""
+    from repro.analysis import DocumentSetStatistics
+
+    # Restrict the series to the years the scaled document actually covers.
+    last_year = DocumentSetStatistics(medium_graph).last_year()
+    years = tuple(range(1940, last_year + 1))
+    series = benchmark.pedantic(
+        lambda: document_class_series(medium_graph, years=years),
+        rounds=1, iterations=1,
+    )
+    model = series["model"]
+    measured = series["measured"]
+    print("\nFigure 2(b) — instances per year (measured, largest shared document)")
+    for name in ("journal", "article", "proceedings", "inproceedings"):
+        counts = dict(measured[name])
+        nonzero = {year: count for year, count in counts.items() if count}
+        print(f"  {name:>14}: {sorted(nonzero.items())[:8]}")
+    # Articles grow over the simulated years.
+    article_counts = [count for _year, count in measured["article"]]
+    first_half = sum(article_counts[: len(article_counts) // 2])
+    second_half = sum(article_counts[len(article_counts) // 2:])
+    assert second_half > first_half
+    # The model curves keep the paper's ordering: inproceedings above
+    # proceedings, articles above journals (checked at the last covered year).
+    assert dict(model["article"])[last_year] > dict(model["journal"])[last_year]
+    assert dict(model["inproceedings"])[last_year] > dict(model["proceedings"])[last_year]
+
+
+def test_figure2c_publication_counts(benchmark, medium_graph):
+    """Fig. 2(c): authors-with-x-publications is power-law shaped."""
+    series = benchmark.pedantic(
+        lambda: publication_count_series(medium_graph), rounds=1, iterations=1
+    )
+    measured = dict(series["measured"])
+    model = series["model"]
+    print("\nFigure 2(c) — #authors with x publications (measured)")
+    print("  " + ", ".join(f"x={x}: {measured.get(x, 0)}" for x in (1, 2, 3, 5, 10, 20)))
+    # Long tail: single-publication authors dominate, very productive authors
+    # exist but are rare.
+    assert measured.get(1, 0) > measured.get(3, 0) > measured.get(10, 0)
+    # The model moves upward over the years (paper: curves move up over time).
+    assert dict(model[2005])[1] > dict(model[1975])[1]

@@ -1,0 +1,55 @@
+"""Table III — data generation elapsed time versus document size.
+
+The paper generates documents of 10^3 ... 10^9 triples and reports
+near-linear scaling with constant memory.  The bench regenerates the sweep at
+laptop scale (10^3 ... ~5*10^4) and checks the same near-linear shape.
+"""
+
+import time
+
+import pytest
+
+from conftest import generate_document
+
+#: Scaled-down version of the paper's 10^3...10^9 sweep.
+TABLE3_SIZES = (1_000, 5_000, 20_000, 50_000)
+
+
+def test_generation_time_table3(benchmark):
+    """Regenerate Table III and check near-linear scaling."""
+    rows = []
+    for size in TABLE3_SIZES[:-1]:
+        start = time.perf_counter()
+        count, _stats = generate_document(size)
+        elapsed = time.perf_counter() - start
+        rows.append((size, count, elapsed))
+
+    # The timed sample for pytest-benchmark: the largest document.
+    def generate_largest():
+        return generate_document(TABLE3_SIZES[-1])
+
+    count, _stats = benchmark.pedantic(generate_largest, rounds=1, iterations=1)
+    rows.append((TABLE3_SIZES[-1], count, benchmark.stats.stats.mean))
+
+    print("\nTable III — document generation times (paper: 0.08s@10^3 ... 13306s@10^9)")
+    print(f"{'#triples':>10}  {'generated':>10}  {'elapsed [s]':>12}")
+    for size, generated, elapsed in rows:
+        print(f"{size:>10}  {generated:>10}  {elapsed:>12.3f}")
+
+    # Shape check: scaling from 1k to 50k triples is near-linear — the cost
+    # ratio stays well below a quadratic blow-up.
+    small_size, _count, small_time = rows[0]
+    large_size, _count, large_time = rows[-1]
+    size_ratio = large_size / small_size
+    time_ratio = large_time / max(small_time, 1e-6)
+    assert time_ratio < size_ratio * 10, (
+        f"generation should scale near-linearly (time ratio {time_ratio:.1f} "
+        f"vs size ratio {size_ratio:.1f})"
+    )
+
+
+def test_generation_reaches_requested_size(benchmark):
+    """The generator produces at least the requested number of triples."""
+    count, stats = benchmark.pedantic(lambda: generate_document(10_000), rounds=1, iterations=1)
+    assert count >= 10_000
+    assert stats.last_year is not None

@@ -1,0 +1,41 @@
+"""Table V — number of query results per document size.
+
+The bench prints the result-size matrix from the shared experiment and checks
+the invariants the paper derives from it: the constant-size queries (Q1, Q3c,
+Q9, Q10, Q11) versus the scaling queries (Q2, Q3a, Q4, Q5a/b, Q6).
+"""
+
+import pytest
+
+from repro.bench import reporting
+from repro.queries import get_query
+
+from conftest import BENCH_DOCUMENT_SIZES
+
+
+def test_table5_result_sizes(benchmark, experiment_report, native_engine):
+    """Regenerate Table V and verify the constant-vs-scaling split."""
+    # Timed representative operation: Q2 (a scaling query) on the largest doc.
+    benchmark.pedantic(
+        lambda: native_engine.query(get_query("Q2").text), rounds=1, iterations=1
+    )
+
+    print("\nTable V — number of query results")
+    print(reporting.result_sizes_table(experiment_report))
+
+    sizes = {size: experiment_report.result_sizes(size) for size in BENCH_DOCUMENT_SIZES}
+    smallest, largest = BENCH_DOCUMENT_SIZES[0], BENCH_DOCUMENT_SIZES[-1]
+
+    # Constant-result queries (Table V rows that do not scale).
+    assert sizes[smallest]["Q1"] == sizes[largest]["Q1"] == 1
+    assert sizes[smallest]["Q3c"] == sizes[largest]["Q3c"] == 0
+    assert sizes[smallest]["Q9"] == sizes[largest]["Q9"] == 4
+    assert sizes[largest]["Q11"] <= 10
+
+    # Scaling queries grow with the document.
+    for query_id in ("Q2", "Q3a", "Q5a", "Q5b", "Q6"):
+        assert sizes[largest][query_id] > sizes[smallest][query_id], query_id
+
+    # Q5a and Q5b agree (they compute the same result).
+    for size in BENCH_DOCUMENT_SIZES:
+        assert sizes[size]["Q5a"] == sizes[size]["Q5b"]

@@ -1,0 +1,63 @@
+"""Table VIII — characteristics of generated documents.
+
+For each document size the paper reports the final simulated year, author
+counts, and per-class instance counts.  The bench regenerates those
+characteristics at the scaled sizes and checks the qualitative relationships
+the paper highlights: articles and inproceedings dominate, theses/WWW
+documents are missing in the early years, authors grow superlinearly.
+"""
+
+import pytest
+
+from repro.analysis import DocumentSetStatistics
+
+from conftest import BENCH_DOCUMENT_SIZES
+
+
+def test_table8_document_characteristics(benchmark, bench_documents):
+    """Regenerate Table VIII from the shared benchmark documents."""
+    largest = BENCH_DOCUMENT_SIZES[-1]
+    graph, _time, _stats = bench_documents[largest]
+
+    # The timed operation: measuring one document's characteristics.
+    statistics = benchmark.pedantic(
+        lambda: DocumentSetStatistics(graph), rounds=1, iterations=1
+    )
+
+    rows = []
+    for size in BENCH_DOCUMENT_SIZES:
+        doc_graph, _gen_time, _gen_stats = bench_documents[size]
+        doc_stats = DocumentSetStatistics(doc_graph)
+        summary = doc_stats.summary()
+        rows.append((size, summary))
+
+    header = ("#triples", "up to", "tot.auth", "dist.auth", "journal", "article",
+              "proc", "inproc", "incoll", "book", "phd", "masters", "www")
+    print("\nTable VIII — characteristics of generated documents")
+    print("  ".join(f"{h:>9}" for h in header))
+    for size, summary in rows:
+        counts = summary["class_counts"]
+        print("  ".join(f"{value:>9}" for value in (
+            size, summary["data_up_to_year"], summary["total_authors"],
+            summary["distinct_authors"],
+            counts.get("journal", 0), counts.get("article", 0),
+            counts.get("proceedings", 0), counts.get("inproceedings", 0),
+            counts.get("incollection", 0), counts.get("book", 0),
+            counts.get("phdthesis", 0), counts.get("mastersthesis", 0),
+            counts.get("www", 0),
+        )))
+
+    # Shape assertions mirroring the paper's observations.
+    small_summary = rows[0][1]
+    large_summary = rows[-1][1]
+    assert large_summary["data_up_to_year"] >= small_summary["data_up_to_year"]
+    assert large_summary["total_authors"] > small_summary["total_authors"]
+    assert large_summary["total_authors"] >= large_summary["distinct_authors"]
+    large_counts = large_summary["class_counts"]
+    assert large_counts.get("article", 0) + large_counts.get("inproceedings", 0) > \
+        5 * (large_counts.get("book", 0) + large_counts.get("incollection", 0) + 1)
+    # Early documents contain no theses or WWW entries (paper: missing classes
+    # in the small documents).
+    assert rows[0][1]["class_counts"].get("phdthesis", 0) == 0
+    assert rows[0][1]["class_counts"].get("www", 0) == 0
+    assert statistics.class_counts()

@@ -1,0 +1,91 @@
+"""Bibliographic exploration: the social-network queries that motivate SP2Bench.
+
+The paper chooses DBLP because it reflects social-world distributions (the
+citation system, coauthor networks, the Erdoes number).  This example uses
+the public API to explore exactly those relations on generated data:
+
+* the Erdoes number 1 and 2 neighbourhood (Q8),
+* debut authors per year (the Q6 closed-world-negation request),
+* the most cited publications (the incoming-citation power law),
+* venue sizes (inproceedings per conference).
+
+Run with::
+
+    python examples/dblp_exploration.py
+"""
+
+from collections import Counter
+
+from repro import DblpGenerator, GeneratorConfig, SparqlEngine, get_query
+
+
+def erdoes_neighbourhood(engine):
+    result = engine.query(get_query("Q8").text)
+    names = sorted(str(binding.get("name")) for binding in result)
+    print(f"Erdoes number 1 or 2: {len(names)} persons")
+    for name in names[:10]:
+        print(f"  {name}")
+    if len(names) > 10:
+        print(f"  ... and {len(names) - 10} more")
+
+
+def debut_authors_by_year(engine):
+    result = engine.query(get_query("Q6").text)
+    per_year = Counter()
+    for binding in result:
+        per_year[binding.get("yr").to_python()] += 1
+    print("\nPublications by debut authors, per year (Q6):")
+    for year in sorted(per_year):
+        print(f"  {year}: {per_year[year]:4d} publications  {'#' * min(per_year[year] // 5, 40)}")
+
+
+def most_cited_publications(engine):
+    # Incoming citations are modelled through rdf:Bag membership; count the
+    # bag members pointing at each document and join with the title.
+    result = engine.query(
+        """
+        SELECT ?title ?doc WHERE {
+          ?doc dc:title ?title .
+          ?bag ?member ?doc .
+          ?citing dcterms:references ?bag
+        }
+        """
+    )
+    counts = Counter(str(binding.get("doc")) for binding in result)
+    titles = {str(binding.get("doc")): str(binding.get("title")) for binding in result}
+    print("\nMost cited publications (incoming-citation power law):")
+    for doc, count in counts.most_common(5):
+        print(f"  {count:3d} citations  {titles[doc][:60]}")
+
+
+def venue_sizes(engine):
+    result = engine.query(
+        """
+        SELECT ?conference ?paper WHERE {
+          ?paper rdf:type bench:Inproceedings .
+          ?paper dcterms:partOf ?proc .
+          ?proc dc:title ?conference
+        }
+        """
+    )
+    sizes = Counter(str(binding.get("conference")) for binding in result)
+    print("\nLargest conferences (inproceedings per proceedings):")
+    for conference, count in sizes.most_common(5):
+        print(f"  {count:3d} papers  {conference}")
+
+
+def main():
+    generator = DblpGenerator(GeneratorConfig(triple_limit=8_000))
+    graph = generator.graph()
+    stats = generator.statistics.as_dict()
+    print(f"document: {stats['triples']} triples, data up to {stats['data_up_to_year']}")
+
+    engine = SparqlEngine.from_graph(graph)
+    erdoes_neighbourhood(engine)
+    debut_authors_by_year(engine)
+    most_cited_publications(engine)
+    venue_sizes(engine)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Distribution analysis: verify that generated data mirrors DBLP (Section III).
+
+Generates a document, measures the distributions the paper fits (attribute
+probabilities, document-class growth, authors-per-paper, publication counts,
+citations), and prints them next to the model values — the same comparison
+the Figure 2 benches automate.
+
+Run with::
+
+    python examples/distribution_analysis.py
+"""
+
+from repro import DblpGenerator, GeneratorConfig
+from repro.analysis import (
+    DocumentSetStatistics,
+    citation_distribution_series,
+    publication_count_series,
+)
+from repro.generator import attribute_probability
+
+
+def attribute_table(stats):
+    print("== Attribute probabilities: Table I value vs. measured ==")
+    pairs = (
+        ("author", "article"), ("pages", "article"), ("month", "article"),
+        ("isbn", "article"), ("journal", "article"),
+        ("author", "inproceedings"), ("pages", "inproceedings"),
+        ("editor", "proceedings"),
+    )
+    print(f"{'attribute':>10} {'class':>15} {'paper':>8} {'measured':>9}")
+    for attribute, document_class in pairs:
+        paper_value = attribute_probability(attribute, document_class)
+        measured = stats.attribute_probability(attribute, document_class)
+        print(f"{attribute:>10} {document_class:>15} {paper_value:8.4f} {measured:9.4f}")
+
+
+def class_growth(stats):
+    print("\n== Document class instances per year (Figure 2b) ==")
+    by_year = stats.class_counts_by_year()
+    for year in sorted(by_year):
+        counts = by_year[year]
+        total = sum(counts.values())
+        bar = "#" * min(total // 4, 60)
+        print(f"  {year}: {total:4d} {bar}")
+
+
+def author_distributions(stats, graph):
+    print("\n== Authors per paper (d_auth) ==")
+    histogram = stats.authors_per_paper_histogram()
+    for count in sorted(histogram)[:8]:
+        print(f"  {count} author(s): {histogram[count]} documents")
+
+    print("\n== Publication counts per author (Figure 2c, power law) ==")
+    series = dict(publication_count_series(graph)["measured"])
+    for x in (1, 2, 3, 5, 10, 20):
+        print(f"  {x:>3} publications: {series.get(x, 0)} authors")
+
+
+def citation_distribution(graph):
+    print("\n== Outgoing citations per citing document (Figure 2a) ==")
+    series = citation_distribution_series(graph, max_citations=40)
+    measured = dict(series["measured"] or [])
+    model = dict(series["model"])
+    for x in (1, 5, 10, 17, 25, 40):
+        print(f"  x={x:>2}  model={model[x]:.4f}  measured={measured.get(x, 0.0):.4f}")
+
+
+def main():
+    generator = DblpGenerator(GeneratorConfig(triple_limit=10_000))
+    graph = generator.graph()
+    print(f"analyzing a generated document with {len(graph)} triples "
+          f"(data up to {generator.statistics.last_year})\n")
+    stats = DocumentSetStatistics(graph)
+
+    attribute_table(stats)
+    class_growth(stats)
+    author_distributions(stats, graph)
+    citation_distribution(graph)
+
+    summary = stats.summary()
+    print("\n== Table VIII style summary ==")
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Engine comparison: the Section VI experiment in miniature.
+
+Runs a representative subset of the benchmark queries against all four engine
+configurations (in-memory/native x baseline/optimized) on two document sizes
+and prints per-query times, the success matrix, and the global means — the
+same views the paper reports in Tables IV, VI, and VII.
+
+Run with::
+
+    python examples/engine_comparison.py
+"""
+
+from repro import ExperimentConfig, BenchmarkHarness, get_query
+from repro.bench import reporting
+from repro.sparql import ENGINE_PRESETS
+
+#: A subset that covers the interesting behaviours but stays fast: constant
+#: time lookups (Q1, Q10, Q12c), scaling scans (Q2, Q3a), the implicit vs
+#: explicit join pair (Q5a, Q5b), and schema extraction (Q9).
+QUERY_IDS = ("Q1", "Q2", "Q3a", "Q3c", "Q5a", "Q5b", "Q9", "Q10", "Q11", "Q12c")
+
+
+def main():
+    config = ExperimentConfig(
+        document_sizes=(1_000, 4_000),
+        engines=ENGINE_PRESETS,
+        queries=tuple(get_query(identifier) for identifier in QUERY_IDS),
+        timeout=20.0,
+        trace_memory=False,
+    )
+    print("running the benchmark harness "
+          f"({len(config.queries)} queries x {len(config.engines)} engines "
+          f"x {len(config.document_sizes)} document sizes) ...")
+    report = BenchmarkHarness(config).run()
+
+    print("\n== Loading times ==")
+    print(reporting.loading_times_table(report))
+
+    print("\n== Per-query behaviour: Q5a (implicit join) vs Q5b (explicit join) ==")
+    print(reporting.per_query_table(report, "Q5a"))
+    print()
+    print(reporting.per_query_table(report, "Q5b"))
+
+    print("\n== Global performance (Tables VI/VII) ==")
+    print(reporting.global_performance_table(report))
+
+    print("\n== Success rates (Table IV) ==")
+    for engine in report.engine_names():
+        print(f"\n[{engine}]")
+        print(reporting.success_rate_table(report, engine))
+
+    fastest = min(
+        report.engine_names(),
+        key=lambda engine: report.global_performance(engine, 4_000)["geometric_mean_time"],
+    )
+    print(f"\nbest geometric mean on the 4,000-triple document: {fastest}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""SP2Bench reproduction: a SPARQL performance benchmark in pure Python.
+
+The package reproduces the complete SP2Bench system (Schmidt, Hornung,
+Lausen, Pinkel — ICDE 2009): the DBLP-like data generator, the 17 benchmark
+queries, the evaluation methodology, and — because the engines the paper
+measures are external systems — a full RDF + SPARQL substrate with several
+engine configurations spanning the same design space (in-memory scan
+evaluation versus index-backed evaluation, with and without optimization).
+
+Typical usage::
+
+    from repro import generate_graph, SparqlEngine, get_query
+
+    graph = generate_graph(triple_limit=10_000)
+    engine = SparqlEngine.from_graph(graph)
+    result = engine.query(get_query("Q1").text)
+"""
+
+from .analysis import DocumentSetStatistics, analyze
+from .bench import BenchmarkHarness, ExperimentConfig, QueryRunner, run_experiment
+from .generator import DblpGenerator, GeneratorConfig, generate_graph
+from .queries import ALL_QUERIES, BenchmarkQuery, get_query
+from .rdf import BNode, Graph, Literal, Namespace, Triple, URIRef, Variable
+from .sparql import (
+    ENGINE_PRESETS,
+    IN_MEMORY_BASELINE,
+    IN_MEMORY_OPTIMIZED,
+    NATIVE_BASELINE,
+    NATIVE_OPTIMIZED,
+    EngineConfig,
+    SparqlEngine,
+    parse_query,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # RDF substrate
+    "URIRef",
+    "BNode",
+    "Literal",
+    "Variable",
+    "Triple",
+    "Graph",
+    "Namespace",
+    # generator
+    "GeneratorConfig",
+    "DblpGenerator",
+    "generate_graph",
+    # queries
+    "ALL_QUERIES",
+    "BenchmarkQuery",
+    "get_query",
+    # SPARQL engine
+    "SparqlEngine",
+    "EngineConfig",
+    "parse_query",
+    "ENGINE_PRESETS",
+    "IN_MEMORY_BASELINE",
+    "IN_MEMORY_OPTIMIZED",
+    "NATIVE_BASELINE",
+    "NATIVE_OPTIMIZED",
+    # benchmark methodology
+    "BenchmarkHarness",
+    "ExperimentConfig",
+    "QueryRunner",
+    "run_experiment",
+    # analysis
+    "DocumentSetStatistics",
+    "analyze",
+]

@@ -1,0 +1,18 @@
+"""Analysis of generated documents against the paper's DBLP study (Section III)."""
+
+from .dblp_stats import DocumentSetStatistics, analyze
+from .figures import (
+    citation_distribution_series,
+    document_class_series,
+    incoming_citation_series,
+    publication_count_series,
+)
+
+__all__ = [
+    "DocumentSetStatistics",
+    "analyze",
+    "citation_distribution_series",
+    "document_class_series",
+    "publication_count_series",
+    "incoming_citation_series",
+]

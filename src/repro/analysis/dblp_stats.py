@@ -1,0 +1,220 @@
+"""Measurement of generated documents against the paper's DBLP analysis.
+
+Section III of the paper derives the distributions that the generator must
+mirror; this module measures those same quantities back from a generated
+:class:`~repro.rdf.Graph` so that tests and benches can verify the
+reproduction quantitatively:
+
+* document-class instance counts, overall and per year (Figure 2b,
+  Table VIII),
+* attribute probabilities per class (Tables I and IX),
+* authors: total author attributes, distinct persons, publication-count
+  histogram (Figure 2c),
+* citations: outgoing-citation histogram (Figure 2a) and incoming-citation
+  histogram (the Section III-D power law).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..rdf.namespace import BENCH, DC, DCTERMS, FOAF, RDF, SWRC
+from ..rdf.terms import BNode, URIRef
+
+#: bench: class URI -> document class name (inverse of the writer mapping).
+_CLASS_NAMES = {
+    BENCH.Article: "article",
+    BENCH.Inproceedings: "inproceedings",
+    BENCH.Proceedings: "proceedings",
+    BENCH.Book: "book",
+    BENCH.Incollection: "incollection",
+    BENCH.PhDThesis: "phdthesis",
+    BENCH.MastersThesis: "mastersthesis",
+    BENCH.WWW: "www",
+    BENCH.Journal: "journal",
+}
+
+#: RDF property -> DTD attribute name, for re-measuring Table IX.
+_PROPERTY_ATTRIBUTES = {
+    SWRC.address: "address",
+    DC.creator: "author",
+    BENCH.booktitle: "booktitle",
+    BENCH.cdrom: "cdrom",
+    SWRC.chapter: "chapter",
+    DCTERMS.references: "cite",
+    DCTERMS.partOf: "crossref",
+    SWRC.editor: "editor",
+    SWRC.isbn: "isbn",
+    SWRC.journal: "journal",
+    SWRC.month: "month",
+    BENCH.note: "note",
+    SWRC.number: "number",
+    SWRC.pages: "pages",
+    DC.publisher: "publisher",
+    SWRC.series: "series",
+    DC.title: "title",
+    FOAF.homepage: "url",
+    SWRC.volume: "volume",
+    DCTERMS.issued: "year",
+}
+
+
+class DocumentSetStatistics:
+    """All Section III measurements over one generated graph."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        self._types = {}           # subject -> class name
+        self._years = {}           # subject -> int year
+        self._subject_attributes = {}   # subject -> Counter(attribute -> occurrences)
+        self._scan()
+
+    def _scan(self):
+        rdf_type = RDF.type
+        issued = DCTERMS.issued
+        for triple in self.graph:
+            subject, predicate, obj = triple
+            if predicate == rdf_type and obj in _CLASS_NAMES:
+                self._types[subject] = _CLASS_NAMES[obj]
+            if predicate == issued:
+                try:
+                    self._years[subject] = int(str(obj))
+                except ValueError:
+                    pass
+            attribute = _PROPERTY_ATTRIBUTES.get(predicate)
+            if attribute is not None:
+                counter = self._subject_attributes.setdefault(subject, Counter())
+                counter[attribute] += 1
+
+    # -- document classes -----------------------------------------------------
+
+    def class_counts(self):
+        """Total instances per document class (Table VIII columns)."""
+        counts = Counter(self._types.values())
+        return dict(counts)
+
+    def class_counts_by_year(self):
+        """Mapping year -> class name -> count (Figure 2b)."""
+        by_year = {}
+        for subject, class_name in self._types.items():
+            year = self._years.get(subject)
+            if year is None:
+                continue
+            per_year = by_year.setdefault(year, Counter())
+            per_year[class_name] += 1
+        return {year: dict(counts) for year, counts in by_year.items()}
+
+    def last_year(self):
+        """Latest dcterms:issued year present in the data."""
+        return max(self._years.values()) if self._years else None
+
+    # -- attribute probabilities (Tables I / IX) ---------------------------------
+
+    def attribute_probability(self, attribute, document_class):
+        """Measured probability that class instances carry the attribute."""
+        instances = [s for s, name in self._types.items() if name == document_class]
+        if not instances:
+            return 0.0
+        carrying = sum(
+            1 for subject in instances
+            if self._subject_attributes.get(subject, {}).get(attribute, 0) > 0
+        )
+        return carrying / len(instances)
+
+    def attribute_probability_table(self, attributes, classes):
+        """Measured sub-matrix of Table IX."""
+        return {
+            attribute: {
+                document_class: self.attribute_probability(attribute, document_class)
+                for document_class in classes
+            }
+            for attribute in attributes
+        }
+
+    # -- authors -----------------------------------------------------------------
+
+    def total_authors(self):
+        """Total number of author attributes (dc:creator triples)."""
+        return sum(1 for _ in self.graph.triples(None, DC.creator, None))
+
+    def distinct_authors(self):
+        """Number of distinct persons appearing as authors."""
+        return len({t.object for t in self.graph.triples(None, DC.creator, None)})
+
+    def authors_per_paper_histogram(self):
+        """Mapping author count per document -> number of documents."""
+        histogram = Counter()
+        for subject, counter in self._subject_attributes.items():
+            count = counter.get("author", 0)
+            if count > 0 and subject in self._types:
+                histogram[count] += 1
+        return dict(histogram)
+
+    def publication_count_histogram(self):
+        """Mapping publications per author -> number of authors (Figure 2c)."""
+        per_person = Counter()
+        for triple in self.graph.triples(None, DC.creator, None):
+            per_person[triple.object] += 1
+        histogram = Counter(per_person.values())
+        return dict(histogram)
+
+    # -- persons and citations ---------------------------------------------------
+
+    def person_count(self):
+        """Number of foaf:Person instances."""
+        return sum(1 for _ in self.graph.triples(None, RDF.type, FOAF.Person))
+
+    def blank_node_person_count(self):
+        """Persons modelled as blank nodes (everyone but Paul Erdoes)."""
+        return sum(
+            1 for t in self.graph.triples(None, RDF.type, FOAF.Person)
+            if isinstance(t.subject, BNode)
+        )
+
+    def outgoing_citation_histogram(self):
+        """Mapping outgoing citations per citing document -> documents (Fig. 2a)."""
+        histogram = Counter()
+        for triple in self.graph.triples(None, DCTERMS.references, None):
+            bag = triple.object
+            members = sum(
+                1 for member in self.graph.triples(bag, None, None)
+                if member.predicate != RDF.type
+            )
+            if members > 0:
+                histogram[members] += 1
+        return dict(histogram)
+
+    def incoming_citation_histogram(self):
+        """Mapping incoming citations per document -> documents (Section III-D)."""
+        incoming = Counter()
+        bag_membership = {}
+        membership_prefix = RDF.base + "_"
+        for triple in self.graph:
+            if triple.predicate == RDF.type:
+                continue
+            if str(triple.predicate).startswith(membership_prefix):
+                bag_membership.setdefault(triple.subject, []).append(triple.object)
+        for members in bag_membership.values():
+            for target in members:
+                if isinstance(target, URIRef):
+                    incoming[target] += 1
+        histogram = Counter(incoming.values())
+        return dict(histogram)
+
+    # -- summary --------------------------------------------------------------------
+
+    def summary(self):
+        """Table VIII style summary for one generated document."""
+        counts = self.class_counts()
+        return {
+            "triples": len(self.graph),
+            "data_up_to_year": self.last_year(),
+            "total_authors": self.total_authors(),
+            "distinct_authors": self.distinct_authors(),
+            "class_counts": counts,
+        }
+
+
+def analyze(graph):
+    """Convenience wrapper returning :class:`DocumentSetStatistics` for a graph."""
+    return DocumentSetStatistics(graph)

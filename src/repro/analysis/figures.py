@@ -1,0 +1,104 @@
+"""Data series for the figures of the paper's DBLP analysis (Figure 2).
+
+Each function returns both the *model* series (the fitted function from
+Section III, evaluated directly) and, when a generated graph is supplied, the
+*measured* series extracted from that graph — so benches can print the two
+side by side and tests can assert that they agree in shape.
+"""
+
+from __future__ import annotations
+
+from ..generator import distributions
+from .dblp_stats import DocumentSetStatistics
+
+
+def citation_distribution_series(graph=None, max_citations=60):
+    """Figure 2(a): probability of exactly x outgoing citations.
+
+    Returns ``{"model": [(x, p)], "measured": [(x, p)] or None}``.
+    """
+    model = [
+        (x, distributions.CITATION_COUNT.probability(x))
+        for x in range(1, max_citations + 1)
+    ]
+    measured = None
+    if graph is not None:
+        stats = _statistics(graph)
+        histogram = stats.outgoing_citation_histogram()
+        total = sum(histogram.values())
+        if total:
+            measured = [
+                (x, histogram.get(x, 0) / total) for x in range(1, max_citations + 1)
+            ]
+    return {"model": model, "measured": measured}
+
+
+def document_class_series(graph=None, years=None):
+    """Figure 2(b): number of class instances per year.
+
+    The model series evaluates the logistic growth curves; the measured
+    series counts instances in the generated graph.
+    """
+    if years is None:
+        years = tuple(range(1960, 2006))
+    curves = {
+        "journal": distributions.JOURNAL_GROWTH,
+        "article": distributions.ARTICLE_GROWTH,
+        "proceedings": distributions.PROCEEDINGS_GROWTH,
+        "inproceedings": distributions.INPROCEEDINGS_GROWTH,
+    }
+    model = {
+        name: [(year, curve.value(year)) for year in years]
+        for name, curve in curves.items()
+    }
+    measured = None
+    if graph is not None:
+        stats = _statistics(graph)
+        by_year = stats.class_counts_by_year()
+        measured = {
+            name: [(year, by_year.get(year, {}).get(name, 0)) for year in years]
+            for name in curves
+        }
+    return {"model": model, "measured": measured}
+
+
+def publication_count_series(graph=None, years=(1975, 1985, 1995, 2005), max_count=80):
+    """Figure 2(c): number of authors with exactly x publications.
+
+    The model series evaluates ``f_awp(x, yr)`` with the year's total
+    publication count taken from the growth curves; the measured series is
+    the publication-count histogram of the generated graph (which aggregates
+    over all years the document contains).
+    """
+    model = {}
+    for year in years:
+        total_publications = (
+            distributions.ARTICLE_GROWTH.value(year)
+            + distributions.INPROCEEDINGS_GROWTH.value(year)
+            + distributions.INCOLLECTION_GROWTH.value(year)
+            + distributions.BOOK_GROWTH.value(year)
+        )
+        series = []
+        for x in range(1, max_count + 1):
+            value = distributions.authors_with_publications(x, year, total_publications)
+            series.append((x, max(value, 0.0)))
+        model[year] = series
+    measured = None
+    if graph is not None:
+        stats = _statistics(graph)
+        histogram = stats.publication_count_histogram()
+        measured = [(x, histogram.get(x, 0)) for x in range(1, max_count + 1)]
+    return {"model": model, "measured": measured}
+
+
+def incoming_citation_series(graph, max_count=30):
+    """Section III-D: histogram of incoming citations (power-law shaped)."""
+    stats = _statistics(graph)
+    histogram = stats.incoming_citation_histogram()
+    return [(x, histogram.get(x, 0)) for x in range(1, max_count + 1)]
+
+
+def _statistics(graph):
+    if isinstance(graph, DocumentSetStatistics):
+        return graph
+    return DocumentSetStatistics(graph)

@@ -1,0 +1,46 @@
+"""Benchmark methodology: metrics, query runner, harness, and reporting."""
+
+from .harness import (
+    DEFAULT_DOCUMENT_SIZES,
+    BenchmarkHarness,
+    ExperimentConfig,
+    ExperimentReport,
+    run_experiment,
+)
+from .metrics import (
+    ERROR,
+    MEMORY,
+    PAPER_PENALTY_SECONDS,
+    SUCCESS,
+    TIMEOUT,
+    QueryMeasurement,
+    arithmetic_mean,
+    geometric_mean,
+    global_performance,
+    success_matrix,
+    success_rate,
+)
+from .runner import QueryRunner, time_loading
+from . import reporting
+
+__all__ = [
+    "BenchmarkHarness",
+    "ExperimentConfig",
+    "ExperimentReport",
+    "run_experiment",
+    "DEFAULT_DOCUMENT_SIZES",
+    "QueryRunner",
+    "time_loading",
+    "QueryMeasurement",
+    "SUCCESS",
+    "TIMEOUT",
+    "MEMORY",
+    "ERROR",
+    "PAPER_PENALTY_SECONDS",
+    "arithmetic_mean",
+    "geometric_mean",
+    "global_performance",
+    "success_rate",
+    "success_matrix",
+    "reporting",
+]

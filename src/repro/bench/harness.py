@@ -1,0 +1,169 @@
+"""The full SP2Bench experiment harness (Section VI of the paper).
+
+Orchestrates the complete methodology:
+
+1. generate documents of the configured sizes with the data generator,
+2. load each document into every engine configuration (recording loading
+   times — the LOADING TIME metric),
+3. run every benchmark query against every engine and document size under a
+   timeout (PER-QUERY PERFORMANCE and SUCCESS RATE metrics),
+4. aggregate global means per engine and size (GLOBAL PERFORMANCE and
+   MEMORY CONSUMPTION metrics).
+
+Document sizes default to a laptop-scale sweep; the paper's original sizes
+(10k ... 25M triples) can be requested explicitly by callers with more time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..generator.config import GeneratorConfig
+from ..generator.generator import DblpGenerator
+from ..queries.catalog import ALL_QUERIES
+from ..sparql.engine import ENGINE_PRESETS
+from .metrics import global_performance, success_matrix, success_rate
+from .runner import QueryRunner, time_loading
+
+#: Default document sizes (in triples) for laptop-scale runs.  The paper uses
+#: 10k/50k/250k/1M/5M/25M; see DESIGN.md for the scale-down rationale.
+DEFAULT_DOCUMENT_SIZES = (1_000, 5_000, 25_000)
+
+
+@dataclass
+class ExperimentConfig:
+    """Configuration of a full benchmark experiment."""
+
+    document_sizes: tuple = DEFAULT_DOCUMENT_SIZES
+    engines: tuple = ENGINE_PRESETS
+    queries: tuple = ALL_QUERIES
+    runs: int = 1
+    timeout: float = 30.0
+    generator_seed: int = 823645187
+    trace_memory: bool = True
+
+
+@dataclass
+class ExperimentReport:
+    """Everything measured during one experiment."""
+
+    config: ExperimentConfig
+    generation_times: dict = field(default_factory=dict)     # size -> seconds
+    document_stats: dict = field(default_factory=dict)       # size -> generator stats dict
+    loading_times: dict = field(default_factory=dict)        # (engine, size) -> seconds
+    measurements: list = field(default_factory=list)         # QueryMeasurement list
+
+    # -- derived views ----------------------------------------------------------
+
+    def measurements_for(self, engine=None, size=None, query_id=None):
+        """Filter measurements by engine name, document size, and/or query."""
+        selected = self.measurements
+        if engine is not None:
+            selected = [m for m in selected if m.engine == engine]
+        if size is not None:
+            selected = [m for m in selected if m.document_size == size]
+        if query_id is not None:
+            selected = [m for m in selected if m.query_id == query_id]
+        return selected
+
+    def engine_names(self):
+        return sorted({m.engine for m in self.measurements})
+
+    def success_matrix(self, engine):
+        """Table IV for one engine: size -> query -> status shortcut."""
+        return success_matrix(self.measurements_for(engine=engine))
+
+    def success_rate(self, engine, size=None):
+        return success_rate(self.measurements_for(engine=engine, size=size))
+
+    def global_performance(self, engine, size, penalty=None):
+        """Tables VI/VII row: means over all queries for one engine and size."""
+        selected = self.measurements_for(engine=engine, size=size)
+        if penalty is None:
+            penalty = self.config.timeout
+        return global_performance(selected, penalty=penalty)
+
+    def result_sizes(self, size):
+        """Table V row: query id -> result size on the given document size."""
+        sizes = {}
+        for measurement in self.measurements_for(size=size):
+            if measurement.result_size is None:
+                continue
+            existing = sizes.get(measurement.query_id)
+            if existing is None:
+                sizes[measurement.query_id] = measurement.result_size
+        return sizes
+
+    def per_query_series(self, engine, query_id):
+        """Figures 5-8 data: list of (document size, elapsed or None) points."""
+        series = []
+        for size in sorted({m.document_size for m in self.measurements}):
+            matching = self.measurements_for(engine=engine, size=size, query_id=query_id)
+            if not matching:
+                continue
+            measurement = matching[0]
+            series.append((size, measurement.elapsed if measurement.succeeded else None))
+        return series
+
+
+class BenchmarkHarness:
+    """Runs the full SP2Bench methodology and produces an ExperimentReport."""
+
+    def __init__(self, config=None):
+        self.config = config or ExperimentConfig()
+
+    def generate_documents(self):
+        """Generate one graph per configured document size.
+
+        Returns ``{size: (graph, generation_seconds, stats_dict)}``.
+        """
+        documents = {}
+        for size in self.config.document_sizes:
+            generator = DblpGenerator(
+                GeneratorConfig(triple_limit=size, seed=self.config.generator_seed)
+            )
+            start = time.perf_counter()
+            graph = generator.graph()
+            elapsed = time.perf_counter() - start
+            documents[size] = (graph, elapsed, generator.statistics.as_dict())
+        return documents
+
+    def run(self, documents=None):
+        """Execute the full experiment; returns an :class:`ExperimentReport`."""
+        report = ExperimentReport(config=self.config)
+        if documents is None:
+            documents = self.generate_documents()
+        runner = QueryRunner(
+            timeout=self.config.timeout, trace_memory=self.config.trace_memory
+        )
+
+        for size, (graph, generation_time, stats) in documents.items():
+            report.generation_times[size] = generation_time
+            report.document_stats[size] = stats
+            for engine_config in self.config.engines:
+                engine, loading_time = time_loading(engine_config, graph)
+                report.loading_times[(engine_config.name, size)] = loading_time
+                for _run in range(self.config.runs):
+                    report.measurements.extend(
+                        runner.run_many(
+                            engine,
+                            self.config.queries,
+                            document_size=size,
+                            engine_name=engine_config.name,
+                        )
+                    )
+        return report
+
+
+def run_experiment(document_sizes=DEFAULT_DOCUMENT_SIZES, engines=ENGINE_PRESETS,
+                   queries=ALL_QUERIES, timeout=30.0, runs=1):
+    """One-call convenience wrapper around :class:`BenchmarkHarness`."""
+    config = ExperimentConfig(
+        document_sizes=tuple(document_sizes),
+        engines=tuple(engines),
+        queries=tuple(queries),
+        timeout=timeout,
+        runs=runs,
+    )
+    return BenchmarkHarness(config).run()

@@ -1,0 +1,117 @@
+"""Benchmark metrics (Section VI-B of the paper).
+
+The paper proposes five metrics; this module implements the computational
+ones:
+
+* **Success rate** — per query and document size, one of Success, Timeout,
+  Memory exhaustion, or Error (Table IV).
+* **Global performance** — arithmetic and geometric mean of per-query
+  execution times, with failed queries penalised by the timeout value
+  (Tables VI and VII).
+* **Memory consumption** — mean of the per-query memory high watermarks.
+
+Loading time and per-query performance are raw measurements collected by the
+runner/harness and reported directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional as Opt
+
+#: Success-rate outcome codes, matching the paper's shortcuts.
+SUCCESS = "success"
+TIMEOUT = "timeout"
+MEMORY = "memory"
+ERROR = "error"
+
+_SHORTCUTS = {SUCCESS: "+", TIMEOUT: "T", MEMORY: "M", ERROR: "E"}
+
+#: Penalty (seconds) the paper assigns to failed queries when computing the
+#: global means: the timeout value, 3600s in the original setup.
+PAPER_PENALTY_SECONDS = 3600.0
+
+
+@dataclass
+class QueryMeasurement:
+    """Outcome of one query execution on one engine and document."""
+
+    query_id: str
+    engine: str
+    document_size: int
+    status: str = SUCCESS
+    elapsed: float = 0.0
+    cpu_time: float = 0.0
+    peak_memory: int = 0
+    result_size: Opt[int] = None
+    error: Opt[str] = None
+
+    @property
+    def succeeded(self):
+        return self.status == SUCCESS
+
+    def status_shortcut(self):
+        """One-character outcome code as used in Table IV."""
+        return _SHORTCUTS.get(self.status, "?")
+
+
+def arithmetic_mean(values):
+    """Plain average; returns 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geometric_mean(values):
+    """The n-th root of the product of n values (all must be positive)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(value <= 0 for value in values):
+        # Clamp to a small epsilon: a 0-second measurement would zero the
+        # whole product, which the paper's metric does not intend.
+        values = [max(value, 1e-9) for value in values]
+    log_sum = sum(math.log(value) for value in values)
+    return math.exp(log_sum / len(values))
+
+
+def penalized_times(measurements, penalty=PAPER_PENALTY_SECONDS):
+    """Execution times with failures replaced by the penalty value."""
+    return [
+        measurement.elapsed if measurement.succeeded else penalty
+        for measurement in measurements
+    ]
+
+
+def global_performance(measurements, penalty=PAPER_PENALTY_SECONDS):
+    """Arithmetic/geometric mean execution time and mean memory (Tables VI/VII)."""
+    times = penalized_times(measurements, penalty)
+    memories = [m.peak_memory for m in measurements if m.succeeded]
+    return {
+        "arithmetic_mean_time": arithmetic_mean(times),
+        "geometric_mean_time": geometric_mean(times),
+        "mean_peak_memory": arithmetic_mean(memories),
+        "queries": len(list(measurements)),
+    }
+
+
+def success_rate(measurements):
+    """Counts of each outcome status plus the success ratio."""
+    counts = {SUCCESS: 0, TIMEOUT: 0, MEMORY: 0, ERROR: 0}
+    total = 0
+    for measurement in measurements:
+        counts[measurement.status] = counts.get(measurement.status, 0) + 1
+        total += 1
+    ratio = counts[SUCCESS] / total if total else 0.0
+    return {"counts": counts, "total": total, "success_ratio": ratio}
+
+
+def success_matrix(measurements):
+    """Nested mapping document size -> query id -> status shortcut (Table IV)."""
+    matrix = {}
+    for measurement in measurements:
+        row = matrix.setdefault(measurement.document_size, {})
+        row[measurement.query_id] = measurement.status_shortcut()
+    return matrix

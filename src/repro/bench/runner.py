@@ -1,0 +1,96 @@
+"""Timed, limited execution of benchmark queries.
+
+The paper's methodology runs every query with a per-query timeout (30 minutes
+on the original testbed) and an overall memory limit, classifying each
+execution as success / timeout / memory exhaustion / error.  Pure-Python
+engines cannot be preempted mid-evaluation portably, so the runner enforces
+the timeout *cooperatively*: elapsed time is checked after execution, and
+runs exceeding the budget are classified as timeouts (their measured time is
+still recorded).  Memory high watermarks come from :mod:`tracemalloc`.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+from ..sparql.results import SelectResult
+from .metrics import ERROR, MEMORY, SUCCESS, TIMEOUT, QueryMeasurement
+
+
+class QueryRunner:
+    """Runs single queries against an engine under time/memory budgets."""
+
+    def __init__(self, timeout=30.0, memory_limit_bytes=None, trace_memory=True):
+        self.timeout = timeout
+        self.memory_limit_bytes = memory_limit_bytes
+        self.trace_memory = trace_memory
+
+    def run(self, engine, query, document_size=0, engine_name=None):
+        """Execute one :class:`BenchmarkQuery` and return a QueryMeasurement."""
+        engine_name = engine_name or engine.config.name
+        measurement = QueryMeasurement(
+            query_id=query.identifier,
+            engine=engine_name,
+            document_size=document_size,
+        )
+        tracing_started_here = False
+        if self.trace_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            tracing_started_here = True
+        if self.trace_memory:
+            tracemalloc.reset_peak()
+
+        start_cpu = time.process_time()
+        start_wall = time.perf_counter()
+        try:
+            result = engine.query(query.text)
+            if isinstance(result, SelectResult):
+                measurement.result_size = len(result)
+            else:
+                measurement.result_size = 1
+        except MemoryError as error:
+            measurement.status = MEMORY
+            measurement.error = str(error) or "memory exhausted"
+        except Exception as error:  # noqa: BLE001 - the paper's Error bucket
+            measurement.status = ERROR
+            measurement.error = f"{type(error).__name__}: {error}"
+        measurement.elapsed = time.perf_counter() - start_wall
+        measurement.cpu_time = time.process_time() - start_cpu
+
+        if self.trace_memory:
+            _current, peak = tracemalloc.get_traced_memory()
+            measurement.peak_memory = peak
+            if tracing_started_here:
+                tracemalloc.stop()
+
+        if measurement.status == SUCCESS:
+            if self.timeout is not None and measurement.elapsed > self.timeout:
+                measurement.status = TIMEOUT
+            elif (self.memory_limit_bytes is not None
+                  and measurement.peak_memory > self.memory_limit_bytes):
+                measurement.status = MEMORY
+        return measurement
+
+    def run_many(self, engine, queries, document_size=0, engine_name=None):
+        """Run a sequence of benchmark queries; returns the measurement list."""
+        return [
+            self.run(engine, query, document_size=document_size, engine_name=engine_name)
+            for query in queries
+        ]
+
+
+def time_loading(engine_config, graph):
+    """Measure document loading time for an engine configuration.
+
+    Returns ``(engine, elapsed_seconds)`` with the engine ready for queries.
+    This is the paper's LOADING TIME metric, which applies to engines with a
+    physical backend (for in-memory engines loading is part of evaluation).
+    """
+    from ..sparql.engine import SparqlEngine
+
+    engine = SparqlEngine(engine_config)
+    start = time.perf_counter()
+    engine.load(graph)
+    elapsed = time.perf_counter() - start
+    return engine, elapsed

@@ -1,0 +1,129 @@
+"""Command-line entry points: generate data, run queries, run the benchmark.
+
+Three console scripts are installed (see ``pyproject.toml``):
+
+``sp2bench-generate``
+    Generate a DBLP-like document and write it as N-Triples.
+``sp2bench-query``
+    Run one benchmark query (or an ad-hoc query file) against a document.
+``sp2bench-bench``
+    Run the full benchmark harness and print the paper's result tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .bench.harness import DEFAULT_DOCUMENT_SIZES, ExperimentConfig, BenchmarkHarness
+from .bench import reporting
+from .generator.config import GeneratorConfig
+from .generator.generator import DblpGenerator
+from .queries.catalog import ALL_QUERIES, get_query
+from .rdf.ntriples import parse_file
+from .sparql.engine import ENGINE_PRESETS, NATIVE_OPTIMIZED, SparqlEngine
+
+
+def generate_main(argv=None):
+    """Entry point of ``sp2bench-generate``."""
+    parser = argparse.ArgumentParser(description="Generate SP2Bench DBLP-like RDF data.")
+    parser.add_argument("output", help="output N-Triples file path")
+    parser.add_argument("--triples", type=int, default=10_000,
+                        help="triple count limit (default: 10000)")
+    parser.add_argument("--end-year", type=int, default=None,
+                        help="simulate up to this year instead of a triple limit")
+    parser.add_argument("--seed", type=int, default=GeneratorConfig.seed,
+                        help="random seed (default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    config = GeneratorConfig(
+        triple_limit=None if args.end_year else args.triples,
+        end_year=args.end_year,
+        seed=args.seed,
+    )
+    generator = DblpGenerator(config)
+    start = time.perf_counter()
+    count = generator.write(args.output)
+    elapsed = time.perf_counter() - start
+    stats = generator.statistics.as_dict()
+    print(f"wrote {count} triples to {args.output} in {elapsed:.2f}s "
+          f"(data up to {stats['data_up_to_year']})")
+    return 0
+
+
+def query_main(argv=None):
+    """Entry point of ``sp2bench-query``."""
+    parser = argparse.ArgumentParser(description="Run SP2Bench queries on an RDF document.")
+    parser.add_argument("document", help="N-Triples file to query")
+    parser.add_argument("--query", default="Q1",
+                        help="benchmark query id (Q1..Q12c) or path to a SPARQL file")
+    parser.add_argument("--engine", default=NATIVE_OPTIMIZED.name,
+                        choices=[config.name for config in ENGINE_PRESETS],
+                        help="engine preset to use")
+    parser.add_argument("--limit", type=int, default=20,
+                        help="maximum number of result rows to print")
+    args = parser.parse_args(argv)
+
+    graph = parse_file(args.document)
+    config = next(c for c in ENGINE_PRESETS if c.name == args.engine)
+    engine = SparqlEngine.from_graph(graph, config)
+
+    try:
+        query_text = get_query(args.query).text
+        label = args.query
+    except KeyError:
+        with open(args.query, "r", encoding="utf-8") as handle:
+            query_text = handle.read()
+        label = args.query
+
+    start = time.perf_counter()
+    result = engine.query(query_text)
+    elapsed = time.perf_counter() - start
+    if result.form == "ASK":
+        print(f"{label}: {'yes' if result else 'no'} ({elapsed:.3f}s)")
+    else:
+        print(f"{label}: {len(result)} results ({elapsed:.3f}s)")
+        for row in result.rows()[: args.limit]:
+            print("  " + "\t".join("-" if value is None else value.n3() for value in row))
+    return 0
+
+
+def bench_main(argv=None):
+    """Entry point of ``sp2bench-bench``."""
+    parser = argparse.ArgumentParser(description="Run the full SP2Bench benchmark harness.")
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_DOCUMENT_SIZES),
+                        help="document sizes in triples (default: %(default)s)")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-query timeout in seconds (default: 30)")
+    parser.add_argument("--queries", nargs="+", default=None,
+                        help="subset of query ids to run (default: all 17)")
+    parser.add_argument("--runs", type=int, default=1, help="runs per query (default: 1)")
+    args = parser.parse_args(argv)
+
+    queries = ALL_QUERIES if args.queries is None else tuple(
+        get_query(identifier) for identifier in args.queries
+    )
+    config = ExperimentConfig(
+        document_sizes=tuple(args.sizes),
+        queries=queries,
+        timeout=args.timeout,
+        runs=args.runs,
+    )
+    report = BenchmarkHarness(config).run()
+    print(reporting.full_report(report))
+    return 0
+
+
+def main(argv=None):
+    """Dispatching entry point (``python -m repro.cli <command> ...``)."""
+    commands = {"generate": generate_main, "query": query_main, "bench": bench_main}
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in commands:
+        print("usage: python -m repro.cli {generate|query|bench} [options]", file=sys.stderr)
+        return 2
+    return commands[argv[0]](argv[1:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

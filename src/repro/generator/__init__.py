@@ -1,0 +1,39 @@
+"""The SP2Bench DBLP-like data generator."""
+
+from .attributes import (
+    ATTRIBUTES,
+    DOCUMENT_CLASSES,
+    attribute_probability,
+    class_probabilities,
+    probability_table,
+    sample_attributes,
+)
+from .authors import AuthorPool, Person, ERDOES_NAME
+from .citations import CitationManager
+from .config import GeneratorConfig
+from .documents import Document, Journal, class_counts_for_year
+from .generator import DblpGenerator, GeneratorStatistics, generate_graph
+from . import distributions, names, rdfwriter
+
+__all__ = [
+    "GeneratorConfig",
+    "DblpGenerator",
+    "GeneratorStatistics",
+    "generate_graph",
+    "Document",
+    "Journal",
+    "class_counts_for_year",
+    "AuthorPool",
+    "Person",
+    "ERDOES_NAME",
+    "CitationManager",
+    "ATTRIBUTES",
+    "DOCUMENT_CLASSES",
+    "attribute_probability",
+    "class_probabilities",
+    "probability_table",
+    "sample_attributes",
+    "distributions",
+    "names",
+    "rdfwriter",
+]

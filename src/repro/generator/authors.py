@@ -1,0 +1,226 @@
+"""Author population management (Section III-C of the paper).
+
+The simulation keeps a growing pool of persons.  Every simulated year it
+
+* estimates the number of *author slots* (total author attributes) from the
+  per-class document counts, attribute probabilities, and the
+  authors-per-paper Gaussian,
+* derives the number of *distinct* authors and of *new* authors from the
+  paper's logistic fractions (``f_dauth``, ``f_new``),
+* builds a year pool of that many persons (new persons plus returning ones,
+  where returning persons are drawn with probability proportional to their
+  past productivity — preferential attachment, which yields the power-law
+  publication-count distribution of Figure 2c), and
+* answers per-document author/editor selection requests from that pool.
+
+Paul Erdoes is a special fixed person (URI instead of blank node) with a
+prescribed workload of 10 publications and 2 editor activities per year
+between 1940 and 1996 — the entry point for Q8 and Q10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import distributions, names
+
+
+@dataclass
+class Person:
+    """A person appearing as author and/or editor."""
+
+    index: int
+    name: str
+    is_erdoes: bool = False
+    first_year: int = 0
+    publication_count: int = 0
+    editor_count: int = 0
+    coauthor_names: set = field(default_factory=set)
+
+    @property
+    def node_label(self):
+        """Blank-node label, mirroring the paper's ``_:givenname_lastname`` scheme."""
+        return self.name.replace(" ", "_")
+
+    def __hash__(self):
+        return hash((Person, self.index))
+
+    def __eq__(self, other):
+        return isinstance(other, Person) and other.index == self.index
+
+
+ERDOES_NAME = "Paul Erdoes"
+
+
+class AuthorPool:
+    """The evolving population of authors across simulated years."""
+
+    def __init__(self, config, rng):
+        self._config = config
+        self._rng = rng
+        self.persons = []
+        self.erdoes = Person(index=-1, name=ERDOES_NAME, is_erdoes=True,
+                             first_year=config.erdoes_first_year)
+        self._year = None
+        self._year_pool = []
+        self._year_weights = []
+        #: Yearly statistics: year -> dict with author-slot/distinct/new counts.
+        self.yearly = {}
+
+    # -- year planning -------------------------------------------------------
+
+    def begin_year(self, year, documents_with_authors):
+        """Plan the author population for ``year``.
+
+        ``documents_with_authors`` is the number of documents that will carry
+        at least one author attribute; the expected number of author slots is
+        that count times the mean of the authors-per-paper distribution.
+        """
+        self._year = year
+        expected_slots = documents_with_authors * distributions.expected_authors_per_paper(year)
+        distinct = max(1, int(round(expected_slots * distributions.distinct_author_fraction(year))))
+        new = max(1, int(round(distinct * distributions.new_author_fraction(year))))
+        new = min(new, distinct)
+        returning = distinct - new
+
+        pool = []
+        if returning and self.persons:
+            pool.extend(self._select_returning(returning))
+        for _ in range(new):
+            pool.append(self._create_person(year))
+        if not pool:
+            pool.append(self._create_person(year))
+        self._year_pool = pool
+        self._year_weights = [1.0 + person.publication_count for person in pool]
+        # Planned distinct authors should actually publish: documents draw
+        # from this queue first, so the year's distinct-author count tracks
+        # f_dauth instead of collapsing onto a few hubs.  Once the queue is
+        # exhausted, further author slots fall back to productivity-weighted
+        # selection, which produces the cross-year power law of Figure 2c.
+        self._year_unused = list(pool)
+        self._rng.shuffle(self._year_unused)
+        self.yearly[year] = {
+            "author_slots": 0,
+            "distinct_planned": distinct,
+            "new_planned": new,
+            "distinct_used": set(),
+        }
+        return pool
+
+    def _select_returning(self, count):
+        """Draw returning authors weighted by past productivity."""
+        population = self.persons
+        weights = [1.0 + person.publication_count for person in population]
+        count = min(count, len(population))
+        chosen = set()
+        guard = 0
+        while len(chosen) < count and guard < count * 20:
+            person = self._rng.choices(population, weights=weights, k=1)[0]
+            chosen.add(person)
+            guard += 1
+        # Top up deterministically if rejection sampling under-filled.
+        if len(chosen) < count:
+            for person in population:
+                chosen.add(person)
+                if len(chosen) >= count:
+                    break
+        return list(chosen)
+
+    def _create_person(self, year):
+        person = Person(index=len(self.persons), name=names.person_name(len(self.persons)),
+                        first_year=year)
+        self.persons.append(person)
+        return person
+
+    # -- per-document selection --------------------------------------------------
+
+    def author_count_for(self, year):
+        """Draw the number of authors for one document (d_auth)."""
+        return distributions.author_count_distribution(year).sample_count(self._rng, minimum=1)
+
+    def select_authors(self, count, include_erdoes=False):
+        """Select ``count`` distinct persons as authors of one document.
+
+        First-time slots of the year are served from the planned year pool
+        (every planned distinct author publishes); additional slots are drawn
+        with probability proportional to past productivity.
+        """
+        selected = []
+        if include_erdoes:
+            selected.append(self.erdoes)
+        while len(selected) < count and self._year_unused:
+            person = self._year_unused.pop()
+            if person not in selected:
+                selected.append(person)
+        available = self._year_pool
+        weights = self._year_weights
+        guard = 0
+        while len(selected) < count and guard < count * 30:
+            person = self._rng.choices(available, weights=weights, k=1)[0]
+            if person not in selected:
+                selected.append(person)
+            guard += 1
+        if len(selected) < count:
+            for person in available:
+                if person not in selected:
+                    selected.append(person)
+                if len(selected) >= count:
+                    break
+        self._record_publication(selected)
+        return selected
+
+    def select_editors(self, count, include_erdoes=False):
+        """Select ``count`` distinct persons as editors of one document.
+
+        Editors are drawn from the whole population (persons "known in the
+        community", Section III-C), preferring productive authors.
+        """
+        selected = []
+        if include_erdoes:
+            selected.append(self.erdoes)
+        population = self.persons or self._year_pool
+        if population:
+            weights = [1.0 + person.publication_count for person in population]
+            guard = 0
+            while len(selected) < count and guard < count * 30:
+                person = self._rng.choices(population, weights=weights, k=1)[0]
+                if person not in selected:
+                    selected.append(person)
+                guard += 1
+        for person in selected:
+            person.editor_count += 1
+        return selected
+
+    def _record_publication(self, persons):
+        year_stats = self.yearly.get(self._year)
+        names_in_document = {person.name for person in persons}
+        for person in persons:
+            person.publication_count += 1
+            person.coauthor_names.update(names_in_document - {person.name})
+            if year_stats is not None:
+                year_stats["author_slots"] += 1
+                if not person.is_erdoes:
+                    year_stats["distinct_used"].add(person.index)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def total_author_slots(self):
+        """Total number of author attributes assigned so far."""
+        return sum(stats["author_slots"] for stats in self.yearly.values())
+
+    def distinct_author_count(self):
+        """Number of distinct persons that authored at least one document."""
+        count = sum(1 for person in self.persons if person.publication_count > 0)
+        if self.erdoes.publication_count > 0:
+            count += 1
+        return count
+
+    def publication_histogram(self):
+        """Mapping publication count -> number of authors with that count."""
+        histogram = {}
+        for person in self.persons:
+            if person.publication_count > 0:
+                histogram[person.publication_count] = (
+                    histogram.get(person.publication_count, 0) + 1
+                )
+        return histogram

@@ -1,0 +1,103 @@
+"""Citation assignment (Sections III-A and III-D of the paper).
+
+Outgoing citations: only a small fraction of documents cite at all (Table I,
+``cite`` row); those that do draw their citation count from the Gaussian
+``d_cite`` (mu=16.82, sigma=10.07).
+
+Incoming citations: the paper observes a power-law distribution (most papers
+are never cited, a few are cited very often) and notes that DBLP's citation
+system is incomplete — many cite entries are untargeted.  Both effects are
+reproduced: targets are drawn by preferential attachment over previously
+generated publications (rich-get-richer yields the power law), and a fixed
+fraction of citation slots stays untargeted.
+"""
+
+from __future__ import annotations
+
+from . import distributions
+
+#: Fraction of outgoing citation slots that remain untargeted (empty cite
+#: tags in DBLP).  The paper reports that incoming citations are notably
+#: fewer than outgoing ones; one half is a faithful middle ground.
+UNTARGETED_FRACTION = 0.5
+
+
+class CitationManager:
+    """Tracks citable documents and assigns citation targets."""
+
+    def __init__(self, rng, untargeted_fraction=UNTARGETED_FRACTION):
+        self._rng = rng
+        self._untargeted_fraction = untargeted_fraction
+        self._documents = []
+        self._weights = []
+
+    def register(self, document):
+        """Make a publication available as a future citation target."""
+        if not document.is_publication():
+            return
+        self._documents.append(document)
+        self._weights.append(1.0)
+
+    def outgoing_count(self):
+        """Draw the number of outgoing citations for a citing document."""
+        return distributions.CITATION_COUNT.sample_count(self._rng, minimum=1)
+
+    def assign(self, document, count=None):
+        """Assign ``count`` outgoing citations to ``document``.
+
+        Returns the citation list actually stored on the document: a mix of
+        target documents (earlier publications) and ``None`` entries for
+        untargeted citations.  A document never cites itself and never cites
+        the same target twice.
+        """
+        if count is None:
+            count = self.outgoing_count()
+        citations = []
+        chosen = set()
+        for _ in range(count):
+            if not self._documents or self._rng.random() < self._untargeted_fraction:
+                citations.append(None)
+                continue
+            target = self._pick_target(exclude=chosen, citing=document)
+            if target is None:
+                citations.append(None)
+                continue
+            chosen.add(id(target))
+            target.incoming_citations += 1
+            self._bump_weight(target)
+            citations.append(target)
+        document.citations = citations
+        return citations
+
+    # -- internals ------------------------------------------------------------
+
+    def _pick_target(self, exclude, citing, attempts=8):
+        for _ in range(attempts):
+            index = self._rng.choices(range(len(self._documents)), weights=self._weights, k=1)[0]
+            candidate = self._documents[index]
+            if candidate is citing or id(candidate) in exclude:
+                continue
+            return candidate
+        return None
+
+    def _bump_weight(self, target):
+        # Preferential attachment: previously cited documents become more
+        # likely targets, producing the incoming-citation power law.
+        for index in range(len(self._documents) - 1, -1, -1):
+            if self._documents[index] is target:
+                self._weights[index] += 1.0
+                return
+
+    # -- statistics -------------------------------------------------------------
+
+    def incoming_histogram(self):
+        """Mapping incoming-citation count -> number of documents."""
+        histogram = {}
+        for document in self._documents:
+            histogram[document.incoming_citations] = (
+                histogram.get(document.incoming_citations, 0) + 1
+            )
+        return histogram
+
+    def __len__(self):
+        return len(self._documents)

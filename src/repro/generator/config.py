@@ -1,0 +1,66 @@
+"""Generator configuration.
+
+The original generator exposes two stop criteria — a triple-count limit or a
+final simulation year (Section IV, "Data Generation") — plus a fixed random
+seed that makes the output deterministic and platform independent.  This
+configuration object captures those knobs and a few reproduction-specific
+toggles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional as Opt
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters controlling one generator run.
+
+    Exactly one of ``triple_limit`` and ``end_year`` is normally set; when
+    both are given, generation stops at whichever limit is hit first.  When
+    neither is set a default triple limit guards against unbounded output.
+    """
+
+    #: Stop once at least this many triples have been produced.
+    triple_limit: Opt[int] = None
+    #: Simulate through this year (inclusive).
+    end_year: Opt[int] = None
+    #: Seed of the deterministic pseudo-random stream.
+    seed: int = 823645187
+    #: First simulated year; DBLP contains noise before the mid 1930s.
+    start_year: int = 1936
+    #: Hard ceiling on the simulated year span (safety net).
+    max_year: int = 2100
+    #: Fraction of articles/inproceedings that receive a bench:abstract
+    #: (the paper enriches "about 1%" of them with large literals).
+    abstract_fraction: float = 0.01
+    #: Paul Erdoes activity range and per-year workload (Section IV).
+    erdoes_first_year: int = 1940
+    erdoes_last_year: int = 1996
+    erdoes_publications_per_year: int = 10
+    erdoes_editor_activities_per_year: int = 2
+    #: Default triple limit applied when neither stop criterion is given.
+    default_triple_limit: int = 10_000
+
+    def __post_init__(self):
+        if self.triple_limit is not None and self.triple_limit <= 0:
+            raise ValueError("triple_limit must be positive")
+        if self.end_year is not None and self.end_year < self.start_year:
+            raise ValueError("end_year must not precede start_year")
+        if not 0.0 <= self.abstract_fraction <= 1.0:
+            raise ValueError("abstract_fraction must be within [0, 1]")
+
+    def effective_triple_limit(self):
+        """The triple limit actually applied during generation."""
+        if self.triple_limit is not None:
+            return self.triple_limit
+        if self.end_year is not None:
+            return None
+        return self.default_triple_limit
+
+    def last_simulated_year(self):
+        """The final year bound used by the simulation loop."""
+        if self.end_year is not None:
+            return min(self.end_year, self.max_year)
+        return self.max_year

@@ -1,0 +1,177 @@
+"""The function families the paper fits to DBLP (Section III).
+
+Three families are used:
+
+* **Gaussian (bell-shaped) curves** model the number of repeated attribute
+  occurrences per document (citations, editors, authors per paper),
+* **logistic curves** model limited growth over time (documents per year,
+  distinct/new author fractions, the drift of the author-count Gaussian),
+* **power laws** model the publication-count and incoming-citation
+  distributions.
+
+All the constants fitted in the paper are collected here under the names used
+in the text (``dcite``, ``dauth``, ``fjournal``, ``fawp`` …) so that
+generator code and analysis code reference a single source of truth.
+
+Two of the printed formulas (``fincoll`` and ``fbook``) are missing the
+``1 +`` term in the logistic denominator, which would make them diverge; the
+standard logistic form is used here and noted in DESIGN.md/EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Gaussian:
+    """A bell-shaped curve ``p(x) = 1/(sigma*sqrt(2*pi)) * exp(-0.5((x-mu)/sigma)^2)``."""
+
+    def __init__(self, mu, sigma):
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def probability(self, x):
+        """Probability density at ``x``."""
+        z = (x - self.mu) / self.sigma
+        return math.exp(-0.5 * z * z) / (self.sigma * math.sqrt(2.0 * math.pi))
+
+    def sample_count(self, rng, minimum=1, maximum=None):
+        """Draw an integer count ``>= minimum`` following this curve.
+
+        The paper truncates the curves at ``x >= 1`` (a document with a
+        repeated attribute has at least one occurrence); sampling draws a
+        normal variate and clamps it into ``[minimum, maximum]``.
+        """
+        upper = maximum if maximum is not None else max(int(self.mu + 6 * self.sigma), minimum)
+        value = int(round(rng.gauss(self.mu, self.sigma)))
+        return max(minimum, min(value, upper))
+
+    def __repr__(self):
+        return f"Gaussian(mu={self.mu}, sigma={self.sigma})"
+
+
+class Logistic:
+    """A logistic (limited-growth) curve ``f(x) = a / (1 + b*exp(-c*(x - x0)))``."""
+
+    def __init__(self, a, b, c, x0=0.0):
+        self.a = float(a)
+        self.b = float(b)
+        self.c = float(c)
+        self.x0 = float(x0)
+
+    def value(self, x):
+        return self.a / (1.0 + self.b * math.exp(-self.c * (x - self.x0)))
+
+    def __call__(self, x):
+        return self.value(x)
+
+    def __repr__(self):
+        return f"Logistic(a={self.a}, b={self.b}, c={self.c}, x0={self.x0})"
+
+
+class PowerLaw:
+    """A power-law curve ``f(x) = a * x**k + b`` with ``k < 0``."""
+
+    def __init__(self, a, k, b=0.0):
+        self.a = float(a)
+        self.k = float(k)
+        self.b = float(b)
+
+    def value(self, x):
+        if x <= 0:
+            raise ValueError("power law defined for x > 0 only")
+        return self.a * (x ** self.k) + self.b
+
+    def __call__(self, x):
+        return self.value(x)
+
+    def __repr__(self):
+        return f"PowerLaw(a={self.a}, k={self.k}, b={self.b})"
+
+
+# ---------------------------------------------------------------------------
+# Repeated-attribute distributions (Section III-A)
+# ---------------------------------------------------------------------------
+
+#: Number of outgoing citations for documents that cite at all: d_cite.
+CITATION_COUNT = Gaussian(16.82, 10.07)
+
+#: Number of editors for documents that have editors: d_editor.
+EDITOR_COUNT = Gaussian(2.15, 1.18)
+
+#: Drift of the authors-per-paper Gaussian over time: mu_auth / sigma_auth.
+_AUTHOR_MU = Logistic(2.05, 17.59, 0.11, x0=1975)
+_AUTHOR_SIGMA = Logistic(1.00, 6.46, 0.10, x0=1975)
+
+
+def author_count_distribution(year):
+    """The Gaussian ``d_auth(x, yr)`` for the number of authors per paper."""
+    mu = _AUTHOR_MU.value(year) + 1.05
+    sigma = _AUTHOR_SIGMA.value(year) + 0.50
+    return Gaussian(mu, sigma)
+
+
+def expected_authors_per_paper(year):
+    """Mean of the authors-per-paper distribution in ``year``."""
+    return _AUTHOR_MU.value(year) + 1.05
+
+
+# ---------------------------------------------------------------------------
+# Document-class growth curves (Section III-B)
+# ---------------------------------------------------------------------------
+
+JOURNAL_GROWTH = Logistic(740.43, 426.28, 0.12, x0=1950)
+ARTICLE_GROWTH = Logistic(58519.12, 876.80, 0.12, x0=1950)
+PROCEEDINGS_GROWTH = Logistic(5502.31, 1250.26, 0.14, x0=1965)
+INPROCEEDINGS_GROWTH = Logistic(337132.34, 1901.05, 0.15, x0=1965)
+INCOLLECTION_GROWTH = Logistic(3577.31, 196.49, 0.09, x0=1980)
+BOOK_GROWTH = Logistic(52.97, 40739.38, 0.32, x0=1950)
+
+#: Upper bounds for the randomly distributed classes (f_phd, f_masters, f_www).
+RANDOM_CLASS_LIMITS = {"phdthesis": 20, "mastersthesis": 10, "www": 10}
+
+
+# ---------------------------------------------------------------------------
+# Author population curves (Section III-C)
+# ---------------------------------------------------------------------------
+
+_DISTINCT_AUTHOR_FRACTION = Logistic(-0.67, 169.41, 0.07, x0=1936)
+_NEW_AUTHOR_FRACTION = Logistic(-0.29, 1749.00, 0.14, x0=1937)
+_PUBLICATION_EXPONENT = Logistic(-0.60, 216223.0, 0.20, x0=1936)
+
+
+def distinct_author_fraction(year):
+    """Fraction of distinct persons among all author attributes: f_dauth / f_auth."""
+    return _DISTINCT_AUTHOR_FRACTION.value(year) + 0.84
+
+
+def new_author_fraction(year):
+    """Fraction of first-time authors among distinct authors: f_new / f_dauth."""
+    return _NEW_AUTHOR_FRACTION.value(year) + 0.628
+
+
+def publication_count_exponent(year):
+    """Exponent ``f'awp(yr)`` of the authors-with-x-publications power law."""
+    return _PUBLICATION_EXPONENT.value(year) + 3.08
+
+
+def authors_with_publications(x, year, total_publications):
+    """``f_awp(x, yr)``: number of authors with exactly ``x`` publications."""
+    exponent = publication_count_exponent(year)
+    return 1.50 * total_publications * (x ** (-exponent)) - 5.0
+
+
+# ---------------------------------------------------------------------------
+# Coauthor relations (Section III-C)
+# ---------------------------------------------------------------------------
+
+def expected_total_coauthors(publications):
+    """Average number of (non-distinct) coauthors of an author with x publications."""
+    return 2.12 * publications
+
+
+def expected_distinct_coauthors(publications):
+    """Average number of distinct coauthors of an author with x publications."""
+    return publications ** 0.81

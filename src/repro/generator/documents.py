@@ -1,0 +1,106 @@
+"""Document model and per-year document-class counts.
+
+``Document`` instances are the intermediate representation between the
+simulation (which decides what exists and how entities relate) and the RDF
+writer (which turns them into triples).  ``class_counts_for_year`` evaluates
+the paper's logistic growth curves (Figure 2b) to decide how many instances
+of each document class a simulated year contains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional as Opt
+
+from . import distributions
+
+#: Growth curve per deterministic document class.
+_GROWTH_CURVES = {
+    "article": distributions.ARTICLE_GROWTH,
+    "inproceedings": distributions.INPROCEEDINGS_GROWTH,
+    "proceedings": distributions.PROCEEDINGS_GROWTH,
+    "incollection": distributions.INCOLLECTION_GROWTH,
+    "book": distributions.BOOK_GROWTH,
+}
+
+
+@dataclass
+class Journal:
+    """A journal venue (implicit document class, Section III-B)."""
+
+    number: int
+    year: int
+
+    @property
+    def key(self):
+        return f"journals/Journal{self.number}/{self.year}"
+
+    @property
+    def title(self):
+        return f"Journal {self.number} ({self.year})"
+
+
+@dataclass
+class Document:
+    """One DBLP document (publication or proceedings)."""
+
+    key: str
+    document_class: str
+    year: int
+    title: str
+    #: Plain attribute values keyed by DTD attribute name (pages, isbn, ...).
+    values: dict = field(default_factory=dict)
+    #: Person objects credited as authors / editors.
+    authors: list = field(default_factory=list)
+    editors: list = field(default_factory=list)
+    #: Outgoing citations: Document targets; None entries are untargeted
+    #: citations (DBLP's empty cite tags, Section III-D).
+    citations: list = field(default_factory=list)
+    #: Link targets (crossref -> proceedings, journal -> Journal).
+    part_of: Opt["Document"] = None
+    journal: Opt[Journal] = None
+    #: Large literal attached to ~1% of articles/inproceedings.
+    abstract: Opt[str] = None
+    #: Number of incoming citations assigned so far (power-law bookkeeping).
+    incoming_citations: int = 0
+
+    def is_publication(self):
+        """Paper terminology: every document that is not a proceedings."""
+        return self.document_class != "proceedings"
+
+
+def class_counts_for_year(year, rng):
+    """Expected number of new documents per class in ``year`` (Figure 2b).
+
+    Deterministic classes follow their logistic curves; PhD/Master's theses
+    and WWW documents are uniformly random within the paper's bounds.  DBLP
+    contains no instances of several classes in the early years, which the
+    curves produce naturally (values round to zero).
+    """
+    counts = {}
+    for document_class, curve in _GROWTH_CURVES.items():
+        counts[document_class] = max(int(round(curve.value(year))), 0)
+    for document_class, upper in distributions.RANDOM_CLASS_LIMITS.items():
+        # The random classes only appear once DBLP has picked up steam
+        # (cf. Table VIII: no theses/WWW documents in small/early documents).
+        if year >= 1980:
+            counts[document_class] = rng.randint(0, upper)
+        else:
+            counts[document_class] = 0
+    counts["journal"] = max(int(round(distributions.JOURNAL_GROWTH.value(year))), 0)
+    # Structural guarantees relied upon by the benchmark queries: the fixed
+    # entry point "Journal 1 (1940)" (Q1) exists, and years with articles
+    # have at least one journal to attach them to.
+    if year == 1940:
+        counts["journal"] = max(counts["journal"], 1)
+    if counts["article"] > 0:
+        counts["journal"] = max(counts["journal"], 1)
+    if counts["inproceedings"] > 0:
+        counts["proceedings"] = max(counts["proceedings"], 1)
+    return counts
+
+
+def expected_documents(year, rng):
+    """Total expected number of documents in ``year`` (f_docs)."""
+    counts = class_counts_for_year(year, rng)
+    return sum(count for name, count in counts.items() if name != "journal")

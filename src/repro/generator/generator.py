@@ -1,0 +1,349 @@
+"""The SP2Bench data generator: year-by-year simulation (Figure 4).
+
+For every simulated year the generator
+
+1. evaluates the growth curves to determine how many instances of each
+   document class the year contains,
+2. creates the year's journals and proceedings first (so that articles and
+   inproceedings always have an existing venue to attach to — the
+   "permanently keeping output consistent" requirement),
+3. plans the author population for the year (total / distinct / new authors),
+4. creates each document: samples its attribute set from the Table IX
+   probabilities, assigns authors, editors, and outgoing citations, and
+5. emits the document's triples, stopping once the configured triple limit
+   is reached (or the configured end year has been simulated).
+
+Everything is driven by a single seeded ``random.Random`` instance, so a
+configuration uniquely identifies the output — the determinism property the
+paper requires for cross-platform comparability.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..rdf.graph import Graph
+from ..rdf.ntriples import serialize_triple
+from . import attributes as attribute_tables
+from . import distributions, names, rdfwriter
+from .authors import AuthorPool
+from .citations import CitationManager
+from .config import GeneratorConfig
+from .documents import Document, Journal, class_counts_for_year
+
+#: Attributes realized through dedicated machinery rather than scalar sampling.
+_STRUCTURAL_ATTRIBUTES = ("author", "editor", "cite", "crossref", "journal",
+                          "title", "year", "booktitle")
+
+#: Document classes whose instances may cite and be cited.
+_CITING_CLASSES = ("article", "inproceedings", "book", "incollection")
+
+
+class GeneratorStatistics:
+    """Counters collected during generation (feeds Table VIII / Figure 2)."""
+
+    def __init__(self):
+        self.triples_written = 0
+        self.documents_written = 0
+        self.last_year = None
+        self.class_totals = {}
+        self.class_by_year = {}
+        self.journals_by_year = {}
+
+    def record_document(self, document):
+        self.documents_written += 1
+        self.class_totals[document.document_class] = (
+            self.class_totals.get(document.document_class, 0) + 1
+        )
+        per_year = self.class_by_year.setdefault(document.year, {})
+        per_year[document.document_class] = per_year.get(document.document_class, 0) + 1
+
+    def record_journal(self, journal):
+        self.class_totals["journal"] = self.class_totals.get("journal", 0) + 1
+        self.journals_by_year[journal.year] = self.journals_by_year.get(journal.year, 0) + 1
+
+    def as_dict(self):
+        """A plain-dict summary used by reports and Table VIII benches."""
+        return {
+            "triples": self.triples_written,
+            "documents": self.documents_written,
+            "data_up_to_year": self.last_year,
+            "class_totals": dict(self.class_totals),
+        }
+
+
+class DblpGenerator:
+    """Generates DBLP-like RDF data according to a :class:`GeneratorConfig`."""
+
+    def __init__(self, config=None):
+        self.config = config or GeneratorConfig()
+        self.statistics = GeneratorStatistics()
+        self._rng = random.Random(self.config.seed)
+        self._author_pool = AuthorPool(self.config, self._rng)
+        self._citations = CitationManager(self._rng)
+        self._emitted_persons = set()
+        self._document_serial = 0
+        self._scalar_fillers = _ScalarAttributeFillers(self._rng)
+
+    # -- public API ------------------------------------------------------------
+
+    def triples(self):
+        """Yield the generated triples in document order (streaming)."""
+        limit = self.config.effective_triple_limit()
+        produced = 0
+
+        def emit(triple_iterable):
+            nonlocal produced
+            for triple in triple_iterable:
+                produced += 1
+                self.statistics.triples_written = produced
+                yield triple
+
+        yield from emit(rdfwriter.schema_triples())
+        yield from emit(self._author_pool_seed_triples())
+
+        year = self.config.start_year
+        last_year = self.config.last_simulated_year()
+        while year <= last_year:
+            if limit is not None and produced >= limit:
+                break
+            for triple_block in self._simulate_year(year):
+                yield from emit(triple_block)
+                if limit is not None and produced >= limit:
+                    break
+            self.statistics.last_year = year
+            year += 1
+
+    def graph(self):
+        """Materialize the generated document as a :class:`Graph`."""
+        return Graph(self.triples())
+
+    def write(self, path):
+        """Stream the generated document to an N-Triples file; returns count."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for triple in self.triples():
+                handle.write(serialize_triple(triple))
+                handle.write("\n")
+                count += 1
+        return count
+
+    # -- simulation -------------------------------------------------------------
+
+    def _author_pool_seed_triples(self):
+        """Emit the fixed Paul Erdoes person up front (stable entry point)."""
+        self._emitted_persons.add(self._author_pool.erdoes.index)
+        return rdfwriter.person_triples(self._author_pool.erdoes)
+
+    def _simulate_year(self, year):
+        """Yield per-document triple blocks for one simulated year."""
+        counts = class_counts_for_year(year, self._rng)
+
+        journals = [Journal(number=i + 1, year=year) for i in range(counts.get("journal", 0))]
+        for journal in journals:
+            self.statistics.record_journal(journal)
+            yield rdfwriter.journal_triples(journal)
+
+        documents_with_authors = self._estimate_author_documents(counts)
+        self._author_pool.begin_year(year, documents_with_authors)
+
+        erdoes_quota = self._erdoes_quota(year)
+
+        proceedings = []
+        for index in range(counts.get("proceedings", 0)):
+            document = self._build_proceedings(year, index + 1, erdoes_quota)
+            proceedings.append(document)
+            self.statistics.record_document(document)
+            yield rdfwriter.document_triples(document, self._emitted_persons)
+
+        ordered_classes = ("article", "inproceedings", "incollection", "book",
+                          "phdthesis", "mastersthesis", "www")
+        for document_class in ordered_classes:
+            for index in range(counts.get(document_class, 0)):
+                document = self._build_publication(
+                    document_class, year, index + 1, journals, proceedings, erdoes_quota
+                )
+                self._citations.register(document)
+                self.statistics.record_document(document)
+                yield rdfwriter.document_triples(document, self._emitted_persons)
+
+    def _erdoes_quota(self, year):
+        """Remaining Erdoes author/editor assignments for this year."""
+        config = self.config
+        if config.erdoes_first_year <= year <= config.erdoes_last_year:
+            return {
+                "author": config.erdoes_publications_per_year,
+                "editor": config.erdoes_editor_activities_per_year,
+            }
+        return {"author": 0, "editor": 0}
+
+    def _estimate_author_documents(self, counts):
+        """Expected number of documents carrying at least one author attribute."""
+        expected = 0.0
+        for document_class, count in counts.items():
+            if document_class == "journal":
+                continue
+            expected += count * attribute_tables.attribute_probability("author", document_class)
+        return int(round(expected))
+
+    # -- document construction -----------------------------------------------------
+
+    def _next_key(self, document_class, year):
+        self._document_serial += 1
+        return f"{document_class}/{year}/{self._document_serial}"
+
+    def _build_proceedings(self, year, index, erdoes_quota):
+        document = Document(
+            key=self._next_key("proceedings", year),
+            document_class="proceedings",
+            year=year,
+            title=f"Conference {index} ({year})",
+        )
+        sampled = attribute_tables.sample_attributes(
+            "proceedings", self._rng, excluded=_STRUCTURAL_ATTRIBUTES
+        )
+        self._fill_scalar_attributes(document, sampled)
+        document.values["booktitle"] = document.title
+        # Editors follow the Table IX probability; Paul Erdoes' fixed quota of
+        # editor activities forces the attribute onto the proceedings he edits.
+        include_erdoes = erdoes_quota["editor"] > 0
+        editor_probability = attribute_tables.attribute_probability("editor", "proceedings")
+        has_editors = include_erdoes or self._rng.random() < editor_probability
+        if has_editors:
+            if include_erdoes:
+                erdoes_quota["editor"] -= 1
+            editor_count = distributions.EDITOR_COUNT.sample_count(self._rng, minimum=1)
+            document.editors = self._author_pool.select_editors(
+                editor_count, include_erdoes=include_erdoes
+            )
+        return document
+
+    def _build_publication(self, document_class, year, index, journals, proceedings,
+                           erdoes_quota):
+        document = Document(
+            key=self._next_key(document_class, year),
+            document_class=document_class,
+            year=year,
+            title=names.title(self._rng),
+        )
+        sampled = attribute_tables.sample_attributes(
+            document_class, self._rng, excluded=_STRUCTURAL_ATTRIBUTES
+        )
+        self._fill_scalar_attributes(document, sampled)
+
+        # Venue links: articles attach to a journal, inproceedings to a
+        # proceedings of the same year (crossref / journal attributes).
+        if document_class == "article" and journals:
+            document.journal = self._rng.choice(journals)
+        elif document_class == "inproceedings" and proceedings:
+            document.part_of = self._rng.choice(proceedings)
+            document.values["booktitle"] = document.part_of.title
+
+        # Authors.
+        author_probability = attribute_tables.attribute_probability("author", document_class)
+        if self._rng.random() < author_probability:
+            include_erdoes = (
+                erdoes_quota["author"] > 0
+                and document_class in ("article", "inproceedings")
+            )
+            if include_erdoes:
+                erdoes_quota["author"] -= 1
+            count = self._author_pool.author_count_for(year)
+            document.authors = self._author_pool.select_authors(
+                count, include_erdoes=include_erdoes
+            )
+
+        # Editors (books occasionally have them).
+        editor_probability = attribute_tables.attribute_probability("editor", document_class)
+        if editor_probability > 0 and self._rng.random() < editor_probability:
+            count = distributions.EDITOR_COUNT.sample_count(self._rng, minimum=1)
+            document.editors = self._author_pool.select_editors(count)
+
+        # Outgoing citations.
+        cite_probability = attribute_tables.attribute_probability("cite", document_class)
+        if document_class in _CITING_CLASSES and self._rng.random() < cite_probability:
+            self._citations.assign(document)
+
+        # Abstracts: ~1% of articles and inproceedings.
+        if (document_class in ("article", "inproceedings")
+                and self._rng.random() < self.config.abstract_fraction):
+            document.abstract = names.abstract(self._rng)
+        return document
+
+    def _fill_scalar_attributes(self, document, sampled):
+        for attribute in sorted(sampled):
+            if attribute in _STRUCTURAL_ATTRIBUTES:
+                continue
+            value = self._scalar_fillers.value_for(attribute, document)
+            if value is not None:
+                document.values[attribute] = value
+
+
+class _ScalarAttributeFillers:
+    """Produces concrete values for scalar DTD attributes."""
+
+    def __init__(self, rng):
+        self._rng = rng
+
+    def value_for(self, attribute, document):
+        handler = getattr(self, f"_{attribute}", None)
+        if handler is None:
+            return None
+        return handler(document)
+
+    def _address(self, _document):
+        return f"{self._rng.randint(1, 400)} {names.word(self._rng).capitalize()} Street"
+
+    def _cdrom(self, document):
+        return f"cdrom/{document.year}/{self._rng.randint(1, 999)}"
+
+    def _chapter(self, _document):
+        return self._rng.randint(1, 30)
+
+    def _ee(self, document):
+        return f"http://dblp.example.org/ee/{document.key}"
+
+    def _isbn(self, _document):
+        return "-".join(str(self._rng.randint(0, 9999)).zfill(4) for _ in range(3))
+
+    def _month(self, _document):
+        return self._rng.randint(1, 12)
+
+    def _note(self, _document):
+        return names.title(self._rng, 2, 5)
+
+    def _number(self, _document):
+        return self._rng.randint(1, 60)
+
+    def _pages(self, _document):
+        start = self._rng.randint(1, 900)
+        return f"{start}--{start + self._rng.randint(1, 40)}"
+
+    def _publisher(self, _document):
+        return names.publisher(self._rng)
+
+    def _school(self, _document):
+        return f"University of {names.last_name(self._rng.randint(0, 500))}"
+
+    def _series(self, _document):
+        return self._rng.randint(1, 5000)
+
+    def _url(self, document):
+        return f"http://dblp.example.org/db/{document.key}.html"
+
+    def _volume(self, _document):
+        return self._rng.randint(1, 120)
+
+
+def generate_graph(triple_limit=None, end_year=None, seed=None, config=None):
+    """Convenience helper: build a generator and return the generated graph."""
+    if config is None:
+        overrides = {}
+        if triple_limit is not None:
+            overrides["triple_limit"] = triple_limit
+        if end_year is not None:
+            overrides["end_year"] = end_year
+        if seed is not None:
+            overrides["seed"] = seed
+        config = GeneratorConfig(**overrides)
+    return DblpGenerator(config).graph()

@@ -1,0 +1,132 @@
+"""Deterministic text material: person names, title words, publishers.
+
+The original generator ships word lists for first names, last names,
+publishers, and random words; this module provides equivalent deterministic
+material.  Base lists are extended combinatorially (syllable composition) so
+the pool is large enough that name collisions stay rare even for documents
+with hundreds of thousands of authors, while remaining fully reproducible.
+"""
+
+from __future__ import annotations
+
+_FIRST_NAMES = (
+    "Adam", "Alice", "Anna", "Antonio", "Bernd", "Bianca", "Boris", "Carla",
+    "Carlos", "Chen", "Claire", "Daniel", "Diana", "Dmitri", "Elena", "Emil",
+    "Erik", "Fatima", "Felix", "Frida", "George", "Gita", "Hans", "Helena",
+    "Igor", "Ines", "Ivan", "Jana", "John", "Julia", "Karl", "Keiko", "Lars",
+    "Laura", "Liam", "Lin", "Maria", "Marta", "Miguel", "Nadia", "Niels",
+    "Nina", "Omar", "Oskar", "Paula", "Pedro", "Petra", "Rajesh", "Rita",
+    "Robert", "Rosa", "Samir", "Sara", "Stefan", "Tanja", "Thomas", "Uma",
+    "Victor", "Wei", "Yusuf", "Zara",
+)
+
+_LAST_NAMES = (
+    "Abel", "Adams", "Baker", "Becker", "Bell", "Berg", "Blake", "Braun",
+    "Brown", "Carter", "Chen", "Clark", "Costa", "Diaz", "Dietrich", "Evans",
+    "Fischer", "Fox", "Franke", "Garcia", "Gray", "Gruber", "Hansen", "Hart",
+    "Hoffmann", "Huber", "Ivanov", "Jansen", "Jones", "Kaur", "Keller",
+    "Kim", "Klein", "Koch", "Kumar", "Lang", "Larsen", "Lee", "Lehmann",
+    "Lopez", "Maier", "Martin", "Meyer", "Miller", "Moreau", "Mueller",
+    "Nakamura", "Nguyen", "Novak", "Olsen", "Patel", "Peters", "Popov",
+    "Richter", "Rossi", "Santos", "Sato", "Schmidt", "Schneider", "Schulz",
+    "Silva", "Singh", "Smith", "Sorensen", "Suzuki", "Tanaka", "Torres",
+    "Vogel", "Wagner", "Walker", "Wang", "Weber", "White", "Wolf", "Wright",
+    "Yamamoto", "Yilmaz", "Young", "Zhang", "Zimmermann",
+)
+
+_TITLE_WORDS = (
+    "adaptive", "algebraic", "analysis", "approach", "architectures",
+    "automated", "benchmarking", "caching", "classification", "clustering",
+    "compilation", "complexity", "compression", "concurrent", "consistency",
+    "constraints", "cost", "data", "databases", "declarative", "dependency",
+    "design", "distributed", "dynamic", "efficient", "embedded", "engines",
+    "estimation", "evaluation", "experimental", "expressive", "federated",
+    "formal", "framework", "graphs", "heterogeneous", "hierarchical",
+    "incremental", "indexing", "inference", "integration", "interactive",
+    "join", "knowledge", "language", "large", "learning", "logic",
+    "management", "mapping", "metadata", "methods", "mining", "model",
+    "networks", "normalization", "ontologies", "optimization", "parallel",
+    "patterns", "performance", "persistent", "planning", "probabilistic",
+    "processing", "provenance", "queries", "ranking", "reasoning",
+    "recursive", "relational", "reliability", "replication", "retrieval",
+    "rewriting", "scalable", "schema", "search", "selectivity", "semantic",
+    "semistructured", "storage", "streams", "structures", "systems",
+    "techniques", "temporal", "transactions", "transformation", "tuning",
+    "views", "visualization", "web", "workloads",
+)
+
+_PUBLISHERS = (
+    "ACM Press", "Addison-Wesley", "Cambridge University Press", "CEUR-WS",
+    "Elsevier", "IEEE Computer Society", "IOS Press", "MIT Press",
+    "Morgan Kaufmann", "North-Holland", "Oxford University Press",
+    "Prentice Hall", "Springer", "Wiley", "World Scientific",
+)
+
+_SYLLABLES = ("ba", "da", "ka", "la", "ma", "na", "ra", "sa", "ta", "va",
+              "bel", "dor", "gan", "lin", "mir", "nov", "ril", "son", "tan", "vich")
+
+
+def first_name(index):
+    """Deterministic first name for a person index."""
+    base = _FIRST_NAMES[index % len(_FIRST_NAMES)]
+    generation = index // len(_FIRST_NAMES)
+    if generation == 0:
+        return base
+    return base + _SYLLABLES[generation % len(_SYLLABLES)].capitalize()
+
+def last_name(index):
+    """Deterministic last name for a person index."""
+    base = _LAST_NAMES[index % len(_LAST_NAMES)]
+    generation = index // len(_LAST_NAMES)
+    if generation == 0:
+        return base
+    suffix_index = generation - 1
+    suffix = _SYLLABLES[suffix_index % len(_SYLLABLES)]
+    extra = suffix_index // len(_SYLLABLES)
+    if extra:
+        suffix += _SYLLABLES[extra % len(_SYLLABLES)]
+    return base + suffix
+
+
+def person_name(index):
+    """Deterministic full person name for a person index.
+
+    First and last name indices are decorrelated so that consecutive persons
+    do not share surnames, and the combination is unique per index.
+    """
+    return f"{first_name(index * 7 + index // 13)} {last_name(index)}"
+
+
+def publisher(rng):
+    """Pick a publisher name."""
+    return rng.choice(_PUBLISHERS)
+
+
+def title(rng, minimum_words=3, maximum_words=9):
+    """Generate a paper title from the title word pool."""
+    count = rng.randint(minimum_words, maximum_words)
+    words = [rng.choice(_TITLE_WORDS) for _ in range(count)]
+    words[0] = words[0].capitalize()
+    return " ".join(words)
+
+
+def abstract(rng, mean_words=150, stddev_words=30):
+    """Generate an abstract (Section IV: Gaussian with mu=150, sigma=30 words)."""
+    count = max(20, int(round(rng.gauss(mean_words, stddev_words))))
+    words = [rng.choice(_TITLE_WORDS) for _ in range(count)]
+    return " ".join(words)
+
+
+def word(rng):
+    """One random word from the pool (used e.g. for series/notes)."""
+    return rng.choice(_TITLE_WORDS)
+
+
+def pool_sizes():
+    """Sizes of the base word pools (used by sanity tests)."""
+    return {
+        "first_names": len(_FIRST_NAMES),
+        "last_names": len(_LAST_NAMES),
+        "title_words": len(_TITLE_WORDS),
+        "publishers": len(_PUBLISHERS),
+    }

@@ -1,0 +1,22 @@
+"""The SP2Bench benchmark query suite (plus the aggregate extension)."""
+
+from .aggregates import AGGREGATE_QUERIES, get_aggregate_query
+from .catalog import (
+    ALL_QUERIES,
+    QUERY_INDEX,
+    BenchmarkQuery,
+    ask_queries,
+    get_query,
+    select_queries,
+)
+
+__all__ = [
+    "BenchmarkQuery",
+    "ALL_QUERIES",
+    "QUERY_INDEX",
+    "get_query",
+    "select_queries",
+    "ask_queries",
+    "AGGREGATE_QUERIES",
+    "get_aggregate_query",
+]

@@ -1,0 +1,110 @@
+"""Aggregate query extension (Section VII of the paper).
+
+The paper's conclusion points out that SPARQL aggregation support was under
+discussion at the time and that "the detailed knowledge of the document class
+counts and distributions facilitates the design of challenging aggregate
+queries with fixed characteristics".  This module provides that extension:
+four aggregate queries whose expected behaviour follows directly from the
+Section III distributions, evaluated through the engine's GROUP BY / COUNT /
+AVG support.
+"""
+
+from __future__ import annotations
+
+from .catalog import BenchmarkQuery
+
+A1 = BenchmarkQuery(
+    identifier="A1",
+    description=(
+        "Number of publications per year — follows the logistic growth curves "
+        "of Figure 2(b), so the counts increase monotonically over the early years."
+    ),
+    operators=("AND",),
+    modifiers=("ORDER BY", "GROUP BY"),
+    data_access=("URIs", "literals"),
+    text="""
+SELECT ?yr (COUNT(?doc) AS ?publications)
+WHERE {
+  ?class rdfs:subClassOf foaf:Document .
+  ?doc rdf:type ?class .
+  ?doc dcterms:issued ?yr
+}
+GROUP BY ?yr
+ORDER BY ?yr
+""",
+)
+
+A2 = BenchmarkQuery(
+    identifier="A2",
+    description=(
+        "Average number of authors per article and per inproceedings — tracks "
+        "the d_auth Gaussian, whose mean increases over the years (Section III-A)."
+    ),
+    operators=("AND",),
+    modifiers=("GROUP BY",),
+    data_access=("URIs", "blank nodes"),
+    text="""
+SELECT ?class (COUNT(?author) AS ?authors) (COUNT(DISTINCT ?doc) AS ?documents)
+WHERE {
+  ?doc rdf:type ?class .
+  ?doc dc:creator ?author
+}
+GROUP BY ?class
+""",
+)
+
+A3 = BenchmarkQuery(
+    identifier="A3",
+    description=(
+        "Distinct authors per document class — the distinct/total author "
+        "relation of Section III-C at class granularity."
+    ),
+    operators=("AND",),
+    modifiers=("GROUP BY",),
+    data_access=("URIs", "blank nodes"),
+    text="""
+SELECT ?class (COUNT(DISTINCT ?author) AS ?distinctAuthors)
+WHERE {
+  ?doc rdf:type ?class .
+  ?doc dc:creator ?author
+}
+GROUP BY ?class
+""",
+)
+
+A4 = BenchmarkQuery(
+    identifier="A4",
+    description=(
+        "Reference-list sizes: number of targeted citations per citing "
+        "document, ordered by size — the d_cite Gaussian of Figure 2(a)."
+    ),
+    operators=("AND",),
+    modifiers=("GROUP BY", "ORDER BY", "LIMIT"),
+    data_access=("URIs", "containers"),
+    text="""
+SELECT ?doc (COUNT(?cited) AS ?citations)
+WHERE {
+  ?doc dcterms:references ?bag .
+  ?bag ?member ?cited .
+  ?cited rdf:type ?class
+}
+GROUP BY ?doc
+ORDER BY DESC(?citations)
+LIMIT 20
+""",
+)
+
+#: The aggregate extension queries, in report order.
+AGGREGATE_QUERIES = (A1, A2, A3, A4)
+
+#: Lookup by identifier.
+AGGREGATE_INDEX = {query.identifier.lower(): query for query in AGGREGATE_QUERIES}
+
+
+def get_aggregate_query(identifier):
+    """Return the aggregate extension query with the given identifier."""
+    try:
+        return AGGREGATE_INDEX[identifier.lower()]
+    except KeyError:
+        known = ", ".join(q.identifier for q in AGGREGATE_QUERIES)
+        raise KeyError(f"unknown aggregate query {identifier!r}; known: {known}") from None

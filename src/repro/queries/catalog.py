@@ -1,0 +1,427 @@
+"""The 17 SP2Bench benchmark queries (Appendix of the paper).
+
+Each query is shipped as a :class:`BenchmarkQuery` with its SPARQL text
+(identical to the published text up to the common PREFIX prologue, which our
+parser supplies by default) and the metadata of Table II: the operators,
+solution modifiers, data-access characteristics, and whether the two
+optimization techniques the paper highlights (filter pushing and graph
+pattern reuse) apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """One benchmark query plus its Table II characteristics."""
+
+    identifier: str
+    description: str
+    text: str
+    form: str = "SELECT"
+    operators: tuple = ()            # subset of {"AND", "FILTER", "UNION", "OPTIONAL"}
+    modifiers: tuple = ()            # subset of {"DISTINCT", "LIMIT", "OFFSET", "ORDER BY"}
+    filter_pushing: bool = False     # Table II row 4
+    pattern_reuse: bool = False      # Table II row 5
+    data_access: tuple = ()          # subset of {"blank nodes", "literals", "URIs",
+                                     #            "large literals", "containers"}
+
+    def __str__(self):
+        return self.identifier
+
+
+Q1 = BenchmarkQuery(
+    identifier="Q1",
+    description='Return the year of publication of "Journal 1 (1940)".',
+    operators=("AND",),
+    data_access=("literals", "URIs"),
+    text="""
+SELECT ?yr
+WHERE {
+  ?journal rdf:type bench:Journal .
+  ?journal dc:title "Journal 1 (1940)"^^xsd:string .
+  ?journal dcterms:issued ?yr
+}
+""",
+)
+
+Q2 = BenchmarkQuery(
+    identifier="Q2",
+    description=(
+        "Extract all inproceedings with their standard properties and, "
+        "optionally, their abstract, ordered by year."
+    ),
+    operators=("AND", "OPTIONAL"),
+    modifiers=("ORDER BY",),
+    data_access=("literals", "URIs", "large literals"),
+    text="""
+SELECT ?inproc ?author ?booktitle ?title ?proc ?ee ?page ?url ?yr ?abstract
+WHERE {
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?author .
+  ?inproc bench:booktitle ?booktitle .
+  ?inproc dc:title ?title .
+  ?inproc dcterms:partOf ?proc .
+  ?inproc rdfs:seeAlso ?ee .
+  ?inproc swrc:pages ?page .
+  ?inproc foaf:homepage ?url .
+  ?inproc dcterms:issued ?yr
+  OPTIONAL { ?inproc bench:abstract ?abstract }
+}
+ORDER BY ?yr
+""",
+)
+
+_Q3_TEMPLATE = """
+SELECT ?article
+WHERE {{
+  ?article rdf:type bench:Article .
+  ?article ?property ?value
+  FILTER (?property = {property})
+}}
+"""
+
+Q3A = BenchmarkQuery(
+    identifier="Q3a",
+    description="Select all articles with property swrc:pages (low selectivity FILTER).",
+    operators=("AND", "FILTER"),
+    filter_pushing=True,
+    data_access=("literals", "URIs"),
+    text=_Q3_TEMPLATE.format(property="swrc:pages"),
+)
+
+Q3B = BenchmarkQuery(
+    identifier="Q3b",
+    description="Select all articles with property swrc:month (selective FILTER).",
+    operators=("AND", "FILTER"),
+    filter_pushing=True,
+    data_access=("literals", "URIs"),
+    text=_Q3_TEMPLATE.format(property="swrc:month"),
+)
+
+Q3C = BenchmarkQuery(
+    identifier="Q3c",
+    description="Select all articles with property swrc:isbn (never satisfied).",
+    operators=("AND", "FILTER"),
+    filter_pushing=True,
+    data_access=("literals", "URIs"),
+    text=_Q3_TEMPLATE.format(property="swrc:isbn"),
+)
+
+Q4 = BenchmarkQuery(
+    identifier="Q4",
+    description=(
+        "Select all distinct pairs of article author names for authors that "
+        "have published in the same journal (long chain, quadratic result)."
+    ),
+    operators=("AND", "FILTER"),
+    modifiers=("DISTINCT",),
+    pattern_reuse=True,
+    data_access=("blank nodes", "literals", "URIs"),
+    text="""
+SELECT DISTINCT ?name1 ?name2
+WHERE {
+  ?article1 rdf:type bench:Article .
+  ?article2 rdf:type bench:Article .
+  ?article1 dc:creator ?author1 .
+  ?author1 foaf:name ?name1 .
+  ?article2 dc:creator ?author2 .
+  ?author2 foaf:name ?name2 .
+  ?article1 swrc:journal ?journal .
+  ?article2 swrc:journal ?journal
+  FILTER (?name1 < ?name2)
+}
+""",
+)
+
+Q5A = BenchmarkQuery(
+    identifier="Q5a",
+    description=(
+        "Names of persons that are author of at least one inproceeding and "
+        "one article (implicit join through a FILTER on names)."
+    ),
+    operators=("AND", "FILTER"),
+    modifiers=("DISTINCT",),
+    filter_pushing=True,
+    data_access=("blank nodes", "literals", "URIs"),
+    text="""
+SELECT DISTINCT ?person ?name
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article dc:creator ?person .
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?person2 .
+  ?person foaf:name ?name .
+  ?person2 foaf:name ?name2
+  FILTER (?name = ?name2)
+}
+""",
+)
+
+Q5B = BenchmarkQuery(
+    identifier="Q5b",
+    description=(
+        "Names of persons that are author of at least one inproceeding and "
+        "one article (explicit join on the person variable)."
+    ),
+    operators=("AND",),
+    modifiers=("DISTINCT",),
+    data_access=("blank nodes", "literals", "URIs"),
+    text="""
+SELECT DISTINCT ?person ?name
+WHERE {
+  ?article rdf:type bench:Article .
+  ?article dc:creator ?person .
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?person .
+  ?person foaf:name ?name
+}
+""",
+)
+
+Q6 = BenchmarkQuery(
+    identifier="Q6",
+    description=(
+        "For each year, the publications authored by persons that have not "
+        "published in earlier years (closed world negation)."
+    ),
+    operators=("AND", "FILTER", "OPTIONAL"),
+    filter_pushing=True,
+    pattern_reuse=True,
+    data_access=("blank nodes", "literals", "URIs"),
+    text="""
+SELECT ?yr ?name ?doc
+WHERE {
+  ?class rdfs:subClassOf foaf:Document .
+  ?doc rdf:type ?class .
+  ?doc dcterms:issued ?yr .
+  ?doc dc:creator ?author .
+  ?author foaf:name ?name
+  OPTIONAL {
+    ?class2 rdfs:subClassOf foaf:Document .
+    ?doc2 rdf:type ?class2 .
+    ?doc2 dcterms:issued ?yr2 .
+    ?doc2 dc:creator ?author2
+    FILTER (?author = ?author2 && ?yr2 < ?yr)
+  }
+  FILTER (!bound(?author2))
+}
+""",
+)
+
+Q7 = BenchmarkQuery(
+    identifier="Q7",
+    description=(
+        "Titles of papers cited at least once, but not by any paper that has "
+        "not been cited itself (double negation over the citation system)."
+    ),
+    operators=("AND", "FILTER", "OPTIONAL"),
+    modifiers=("DISTINCT",),
+    filter_pushing=True,
+    pattern_reuse=True,
+    data_access=("literals", "URIs", "containers"),
+    text="""
+SELECT DISTINCT ?title
+WHERE {
+  ?class rdfs:subClassOf foaf:Document .
+  ?doc rdf:type ?class .
+  ?doc dc:title ?title .
+  ?bag2 ?member2 ?doc .
+  ?doc2 dcterms:references ?bag2
+  OPTIONAL {
+    ?class3 rdfs:subClassOf foaf:Document .
+    ?doc3 rdf:type ?class3 .
+    ?doc3 dcterms:references ?bag3 .
+    ?bag3 ?member3 ?doc
+    OPTIONAL {
+      ?class4 rdfs:subClassOf foaf:Document .
+      ?doc4 rdf:type ?class4 .
+      ?doc4 dcterms:references ?bag4 .
+      ?bag4 ?member4 ?doc3
+    }
+    FILTER (!bound(?doc4))
+  }
+  FILTER (!bound(?doc3))
+}
+""",
+)
+
+Q8 = BenchmarkQuery(
+    identifier="Q8",
+    description=(
+        "Authors that have published with Paul Erdoes, or with an author that "
+        "has published with Paul Erdoes (Erdoes number 1 or 2)."
+    ),
+    operators=("AND", "FILTER", "UNION"),
+    modifiers=("DISTINCT",),
+    filter_pushing=True,
+    pattern_reuse=True,
+    data_access=("blank nodes", "literals", "URIs"),
+    text="""
+SELECT DISTINCT ?name
+WHERE {
+  ?erdoes rdf:type foaf:Person .
+  ?erdoes foaf:name "Paul Erdoes"^^xsd:string .
+  {
+    ?doc dc:creator ?erdoes .
+    ?doc dc:creator ?author .
+    ?doc2 dc:creator ?author .
+    ?doc2 dc:creator ?author2 .
+    ?author2 foaf:name ?name
+    FILTER (?author != ?erdoes &&
+            ?doc2 != ?doc &&
+            ?author2 != ?erdoes &&
+            ?author2 != ?author)
+  } UNION {
+    ?doc dc:creator ?erdoes .
+    ?doc dc:creator ?author .
+    ?author foaf:name ?name
+    FILTER (?author != ?erdoes)
+  }
+}
+""",
+)
+
+Q9 = BenchmarkQuery(
+    identifier="Q9",
+    description="Incoming and outgoing properties of persons (schema extraction).",
+    operators=("AND", "UNION"),
+    modifiers=("DISTINCT",),
+    data_access=("blank nodes", "literals", "URIs"),
+    text="""
+SELECT DISTINCT ?predicate
+WHERE {
+  { ?person rdf:type foaf:Person .
+    ?subject ?predicate ?person }
+  UNION
+  { ?person rdf:type foaf:Person .
+    ?person ?predicate ?object }
+}
+""",
+)
+
+Q10 = BenchmarkQuery(
+    identifier="Q10",
+    description='All subjects standing in any relation to person "Paul Erdoes".',
+    operators=(),
+    data_access=("URIs",),
+    text="""
+SELECT ?subj ?pred
+WHERE {
+  ?subj ?pred person:Paul_Erdoes
+}
+""",
+)
+
+Q11 = BenchmarkQuery(
+    identifier="Q11",
+    description=(
+        "Up to 10 electronic edition URLs starting from the 51st, in "
+        "lexicographical order (ORDER BY / LIMIT / OFFSET interplay)."
+    ),
+    operators=(),
+    modifiers=("ORDER BY", "LIMIT", "OFFSET"),
+    data_access=("literals", "URIs"),
+    text="""
+SELECT ?ee
+WHERE {
+  ?publication rdfs:seeAlso ?ee
+}
+ORDER BY ?ee
+LIMIT 10
+OFFSET 50
+""",
+)
+
+Q12A = BenchmarkQuery(
+    identifier="Q12a",
+    description="ASK variant of Q5a.",
+    form="ASK",
+    operators=("AND", "FILTER"),
+    filter_pushing=True,
+    data_access=("blank nodes", "literals", "URIs"),
+    text="""
+ASK {
+  ?article rdf:type bench:Article .
+  ?article dc:creator ?person .
+  ?inproc rdf:type bench:Inproceedings .
+  ?inproc dc:creator ?person2 .
+  ?person foaf:name ?name .
+  ?person2 foaf:name ?name2
+  FILTER (?name = ?name2)
+}
+""",
+)
+
+Q12B = BenchmarkQuery(
+    identifier="Q12b",
+    description="ASK variant of Q8.",
+    form="ASK",
+    operators=("AND", "FILTER", "UNION"),
+    filter_pushing=True,
+    pattern_reuse=True,
+    data_access=("blank nodes", "literals", "URIs"),
+    text="""
+ASK {
+  ?erdoes rdf:type foaf:Person .
+  ?erdoes foaf:name "Paul Erdoes"^^xsd:string .
+  {
+    ?doc dc:creator ?erdoes .
+    ?doc dc:creator ?author .
+    ?doc2 dc:creator ?author .
+    ?doc2 dc:creator ?author2 .
+    ?author2 foaf:name ?name
+    FILTER (?author != ?erdoes &&
+            ?doc2 != ?doc &&
+            ?author2 != ?erdoes &&
+            ?author2 != ?author)
+  } UNION {
+    ?doc dc:creator ?erdoes .
+    ?doc dc:creator ?author .
+    ?author foaf:name ?name
+    FILTER (?author != ?erdoes)
+  }
+}
+""",
+)
+
+Q12C = BenchmarkQuery(
+    identifier="Q12c",
+    description='ASK whether person "John Q. Public" is present (always no).',
+    form="ASK",
+    operators=(),
+    data_access=("URIs",),
+    text="""
+ASK { person:John_Q_Public rdf:type foaf:Person }
+""",
+)
+
+#: All queries in report order (the order of Tables IV and V).
+ALL_QUERIES = (
+    Q1, Q2, Q3A, Q3B, Q3C, Q4, Q5A, Q5B, Q6, Q7, Q8, Q9, Q10, Q11,
+    Q12A, Q12B, Q12C,
+)
+
+#: Lookup by identifier ("Q3a", "Q12c", ...), case-insensitive.
+QUERY_INDEX = {query.identifier.lower(): query for query in ALL_QUERIES}
+
+
+def get_query(identifier):
+    """Return the BenchmarkQuery with the given identifier (e.g. ``"Q3a"``)."""
+    try:
+        return QUERY_INDEX[identifier.lower()]
+    except KeyError:
+        known = ", ".join(sorted(q.identifier for q in ALL_QUERIES))
+        raise KeyError(f"unknown query {identifier!r}; known queries: {known}") from None
+
+
+def select_queries():
+    """The 14 SELECT-form queries."""
+    return tuple(q for q in ALL_QUERIES if q.form == "SELECT")
+
+
+def ask_queries():
+    """The 3 ASK-form queries."""
+    return tuple(q for q in ALL_QUERIES if q.form == "ASK")

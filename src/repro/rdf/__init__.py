@@ -1,0 +1,69 @@
+"""RDF data model substrate: terms, triples, graphs, namespaces, N-Triples."""
+
+from .errors import ParseError, RDFError, TermError
+from .graph import Graph
+from .namespace import (
+    BENCH,
+    DC,
+    DCTERMS,
+    DEFAULT_PREFIXES,
+    FOAF,
+    PERSON,
+    RDF,
+    RDFS,
+    SWRC,
+    XSD,
+    Namespace,
+    expand_qname,
+    qname_for,
+)
+from .ntriples import parse, parse_file, parse_graph, serialize, write_file
+from .terms import (
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+    BNode,
+    Literal,
+    Term,
+    URIRef,
+    Variable,
+    term_sort_key,
+)
+from .triple import Triple
+
+__all__ = [
+    "RDFError",
+    "TermError",
+    "ParseError",
+    "Term",
+    "URIRef",
+    "BNode",
+    "Literal",
+    "Variable",
+    "Triple",
+    "Graph",
+    "Namespace",
+    "expand_qname",
+    "qname_for",
+    "term_sort_key",
+    "parse",
+    "parse_file",
+    "parse_graph",
+    "serialize",
+    "write_file",
+    "RDF",
+    "RDFS",
+    "XSD",
+    "FOAF",
+    "DC",
+    "DCTERMS",
+    "SWRC",
+    "BENCH",
+    "PERSON",
+    "DEFAULT_PREFIXES",
+    "XSD_STRING",
+    "XSD_INTEGER",
+    "XSD_DOUBLE",
+    "XSD_BOOLEAN",
+]

@@ -1,0 +1,22 @@
+"""Error hierarchy for the RDF substrate."""
+
+
+class RDFError(Exception):
+    """Base class for all RDF-layer errors."""
+
+
+class TermError(RDFError):
+    """Raised when an RDF term is constructed from invalid material."""
+
+
+class ParseError(RDFError):
+    """Raised when an RDF serialization cannot be parsed.
+
+    Carries the line number of the offending input when known.
+    """
+
+    def __init__(self, message, line=None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line

@@ -1,0 +1,185 @@
+"""A simple in-memory RDF graph with pattern matching.
+
+:class:`Graph` is the user-facing container returned by the data generator
+and accepted by engine loaders.  It stores ground triples in insertion order
+(deduplicated) and answers ``(s, p, o)`` pattern queries where any component
+may be ``None`` ("wildcard").  Storage backends with real index structures
+live in :mod:`repro.store`; Graph deliberately stays minimal so that the
+difference between an unindexed and an indexed engine remains visible in the
+benchmark results, as in the paper's in-memory vs. native engine comparison.
+"""
+
+from __future__ import annotations
+
+from .errors import TermError
+from .terms import BNode, Literal, URIRef
+from .triple import Triple
+
+
+class Graph:
+    """A mutable set of ground RDF triples."""
+
+    def __init__(self, triples=None):
+        self._triples = []
+        self._index = set()
+        if triples is not None:
+            for triple in triples:
+                self.add(triple)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, triple, predicate=None, object=None):
+        """Add a triple; accepts either a :class:`Triple` or three terms.
+
+        Returns True if the triple was new, False if it was already present.
+        """
+        triple = self._coerce(triple, predicate, object)
+        if not triple.is_ground():
+            raise TermError(f"cannot add a non-ground triple to a graph: {triple!r}")
+        if triple in self._index:
+            return False
+        self._index.add(triple)
+        self._triples.append(triple)
+        return True
+
+    def discard(self, triple, predicate=None, object=None):
+        """Remove a triple if present.  Returns True if it was removed."""
+        triple = self._coerce(triple, predicate, object)
+        if triple not in self._index:
+            return False
+        self._index.discard(triple)
+        self._triples.remove(triple)
+        return True
+
+    def update(self, triples):
+        """Add every triple from an iterable."""
+        for triple in triples:
+            self.add(triple)
+
+    @staticmethod
+    def _coerce(triple, predicate, object):
+        if isinstance(triple, Triple) and predicate is None and object is None:
+            return triple
+        return Triple(triple, predicate, object)
+
+    # -- queries ----------------------------------------------------------
+
+    def triples(self, subject=None, predicate=None, object=None):
+        """Yield all triples matching the wildcard pattern.
+
+        Each of ``subject``/``predicate``/``object`` is either a ground term
+        (must match exactly) or ``None`` (matches anything).  This is a linear
+        scan by design — see module docstring.
+        """
+        for triple in self._triples:
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if object is not None and triple.object != object:
+                continue
+            yield triple
+
+    def subjects(self, predicate=None, object=None):
+        """Yield distinct subjects of triples matching the pattern."""
+        seen = set()
+        for triple in self.triples(None, predicate, object):
+            if triple.subject not in seen:
+                seen.add(triple.subject)
+                yield triple.subject
+
+    def objects(self, subject=None, predicate=None):
+        """Yield distinct objects of triples matching the pattern."""
+        seen = set()
+        for triple in self.triples(subject, predicate, None):
+            if triple.object not in seen:
+                seen.add(triple.object)
+                yield triple.object
+
+    def predicates(self, subject=None, object=None):
+        """Yield distinct predicates of triples matching the pattern."""
+        seen = set()
+        for triple in self.triples(subject, None, object):
+            if triple.predicate not in seen:
+                seen.add(triple.predicate)
+                yield triple.predicate
+
+    def value(self, subject=None, predicate=None, object=None):
+        """Return one matching missing component, or None.
+
+        Exactly one of the three arguments must be ``None``; the value of
+        that position in the first matching triple is returned.
+        """
+        wildcards = [name for name, term in
+                     (("subject", subject), ("predicate", predicate), ("object", object))
+                     if term is None]
+        if len(wildcards) != 1:
+            raise ValueError("Graph.value requires exactly one wildcard position")
+        for triple in self.triples(subject, predicate, object):
+            return getattr(triple, wildcards[0])
+        return None
+
+    def __contains__(self, triple):
+        return triple in self._index
+
+    def __iter__(self):
+        return iter(self._triples)
+
+    def __len__(self):
+        return len(self._triples)
+
+    def __bool__(self):
+        return bool(self._triples)
+
+    def __eq__(self, other):
+        return isinstance(other, Graph) and other._index == self._index
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    # -- set operations ---------------------------------------------------
+
+    def union(self, other):
+        """Return a new graph holding the triples of both graphs."""
+        result = Graph(self._triples)
+        result.update(other)
+        return result
+
+    def intersection(self, other):
+        """Return a new graph holding the triples present in both graphs."""
+        other_index = other._index if isinstance(other, Graph) else set(other)
+        return Graph(t for t in self._triples if t in other_index)
+
+    def difference(self, other):
+        """Return a new graph holding triples of self absent from other."""
+        other_index = other._index if isinstance(other, Graph) else set(other)
+        return Graph(t for t in self._triples if t not in other_index)
+
+    # -- statistics helpers ------------------------------------------------
+
+    def subject_count(self):
+        """Number of distinct subjects in the graph."""
+        return len({t.subject for t in self._triples})
+
+    def predicate_histogram(self):
+        """Mapping predicate -> number of triples using that predicate."""
+        histogram = {}
+        for triple in self._triples:
+            histogram[triple.predicate] = histogram.get(triple.predicate, 0) + 1
+        return histogram
+
+    def node_kinds(self):
+        """Counts of URI / blank-node / literal occurrences across positions."""
+        counts = {"uri": 0, "bnode": 0, "literal": 0}
+        for triple in self._triples:
+            for term in triple:
+                if isinstance(term, URIRef):
+                    counts["uri"] += 1
+                elif isinstance(term, BNode):
+                    counts["bnode"] += 1
+                elif isinstance(term, Literal):
+                    counts["literal"] += 1
+        return counts
+
+    def __repr__(self):
+        return f"Graph(len={len(self)})"

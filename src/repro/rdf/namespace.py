@@ -1,0 +1,109 @@
+"""Namespaces and the fixed vocabulary used by the SP2Bench data model.
+
+The paper (Section IV, Figure 3a) reuses FOAF, SWRC, DC, and DCTERMS
+vocabulary and introduces a benchmark-specific ``bench:`` namespace for the
+DBLP document classes plus a ``person:`` namespace for the fixed Paul Erdoes
+URI.  This module mirrors the namespace prefixes used in the published
+queries so that query text from the paper parses unchanged.
+"""
+
+from __future__ import annotations
+
+from .terms import URIRef
+
+
+class Namespace:
+    """A URI prefix from which terms can be derived by attribute access.
+
+    >>> FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+    >>> FOAF.name
+    URIRef('http://xmlns.com/foaf/0.1/name')
+    """
+
+    def __init__(self, base):
+        self._base = base
+
+    @property
+    def base(self):
+        return self._base
+
+    def term(self, name):
+        """Return the URIRef for ``name`` inside this namespace."""
+        return URIRef(self._base + name)
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __getitem__(self, name):
+        return self.term(name)
+
+    def __contains__(self, uri):
+        value = uri.value if isinstance(uri, URIRef) else str(uri)
+        return value.startswith(self._base)
+
+    def __repr__(self):
+        return f"Namespace({self._base!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, Namespace) and other._base == self._base
+
+    def __hash__(self):
+        return hash((Namespace, self._base))
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+DC = Namespace("http://purl.org/dc/elements/1.1/")
+DCTERMS = Namespace("http://purl.org/dc/terms/")
+SWRC = Namespace("http://swrc.ontoware.org/ontology#")
+BENCH = Namespace("http://localhost/vocabulary/bench/")
+PERSON = Namespace("http://localhost/persons/")
+
+#: Default prefix -> namespace table used by the SPARQL parser and the
+#: benchmark queries; matches the prologue of the published SP2Bench queries.
+DEFAULT_PREFIXES = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "xsd": XSD,
+    "foaf": FOAF,
+    "dc": DC,
+    "dcterms": DCTERMS,
+    "swrc": SWRC,
+    "bench": BENCH,
+    "person": PERSON,
+}
+
+
+def expand_qname(qname, prefixes=None):
+    """Expand a prefixed name like ``dc:title`` into a :class:`URIRef`.
+
+    Raises ``KeyError`` if the prefix is unknown.
+    """
+    table = prefixes if prefixes is not None else DEFAULT_PREFIXES
+    prefix, _, local = qname.partition(":")
+    namespace = table[prefix]
+    if isinstance(namespace, Namespace):
+        return namespace.term(local)
+    return URIRef(str(namespace) + local)
+
+
+def qname_for(uri, prefixes=None):
+    """Compact a URIRef back into ``prefix:local`` form when possible.
+
+    Returns the N3 form (``<...>``) if no registered namespace matches.
+    """
+    table = prefixes if prefixes is not None else DEFAULT_PREFIXES
+    value = uri.value if isinstance(uri, URIRef) else str(uri)
+    best = None
+    for prefix, namespace in table.items():
+        base = namespace.base if isinstance(namespace, Namespace) else str(namespace)
+        if value.startswith(base) and (best is None or len(base) > len(best[1])):
+            best = (prefix, base)
+    if best is None:
+        return f"<{value}>"
+    prefix, base = best
+    return f"{prefix}:{value[len(base):]}"

@@ -1,0 +1,193 @@
+"""N-Triples serialization and parsing.
+
+The SP2Bench generator writes its output as N-Triples (one triple per line),
+which keeps the writer streaming and memory-constant as required by the
+paper's portability/scalability design principles (Section II).  The parser
+is the inverse used by engine loaders and round-trip tests.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .errors import ParseError
+from .graph import Graph
+from .terms import BNode, Literal, URIRef
+from .triple import Triple
+
+_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+def serialize_triple(triple):
+    """Return the N-Triples line (without newline) for a ground triple."""
+    return triple.n3()
+
+
+def serialize(triples, out=None):
+    """Serialize an iterable of triples to N-Triples.
+
+    If ``out`` is a file-like object the triples are streamed to it and the
+    number of lines written is returned; otherwise a string is returned.
+    """
+    if out is None:
+        buffer = io.StringIO()
+        count = serialize(triples, buffer)
+        del count
+        return buffer.getvalue()
+    written = 0
+    for triple in triples:
+        out.write(serialize_triple(triple))
+        out.write("\n")
+        written += 1
+    return written
+
+
+def write_file(triples, path):
+    """Serialize triples to a file at ``path``; returns the triple count."""
+    with open(path, "w", encoding="utf-8") as handle:
+        return serialize(triples, handle)
+
+
+class NTriplesParser:
+    """A line-oriented N-Triples parser."""
+
+    def parse_line(self, line, lineno=None):
+        """Parse a single N-Triples line into a Triple, or None for blanks."""
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            return None
+        self._text = stripped
+        self._pos = 0
+        self._lineno = lineno
+        subject = self._parse_term(allow_literal=False)
+        self._skip_whitespace()
+        predicate = self._parse_term(allow_literal=False, allow_bnode=False)
+        self._skip_whitespace()
+        object_term = self._parse_term(allow_literal=True)
+        self._skip_whitespace()
+        if self._pos >= len(self._text) or self._text[self._pos] != ".":
+            raise ParseError("expected terminating '.'", self._lineno)
+        return Triple(subject, predicate, object_term)
+
+    def parse(self, source):
+        """Parse a string or file-like object; yields triples."""
+        if isinstance(source, str):
+            lines = source.splitlines()
+        else:
+            lines = source
+        for lineno, line in enumerate(lines, start=1):
+            triple = self.parse_line(line, lineno)
+            if triple is not None:
+                yield triple
+
+    # -- internals ---------------------------------------------------------
+
+    def _skip_whitespace(self):
+        while self._pos < len(self._text) and self._text[self._pos] in " \t":
+            self._pos += 1
+
+    def _parse_term(self, allow_literal, allow_bnode=True):
+        self._skip_whitespace()
+        if self._pos >= len(self._text):
+            raise ParseError("unexpected end of line", self._lineno)
+        char = self._text[self._pos]
+        if char == "<":
+            return self._parse_uri()
+        if char == "_" and allow_bnode:
+            return self._parse_bnode()
+        if char == '"' and allow_literal:
+            return self._parse_literal()
+        raise ParseError(f"unexpected character {char!r} at column {self._pos}", self._lineno)
+
+    def _parse_uri(self):
+        end = self._text.find(">", self._pos)
+        if end < 0:
+            raise ParseError("unterminated URI", self._lineno)
+        value = self._text[self._pos + 1:end]
+        if any(ch in value for ch in "<> \t"):
+            raise ParseError(f"malformed URI <{value}>", self._lineno)
+        self._pos = end + 1
+        return URIRef(value)
+
+    def _parse_bnode(self):
+        if not self._text.startswith("_:", self._pos):
+            raise ParseError("malformed blank node", self._lineno)
+        start = self._pos + 2
+        end = start
+        while end < len(self._text) and not self._text[end].isspace():
+            end += 1
+        label = self._text[start:end]
+        if not label:
+            raise ParseError("blank node with empty label", self._lineno)
+        self._pos = end
+        return BNode(label)
+
+    def _parse_literal(self):
+        # Opening quote is at self._pos.
+        chars = []
+        pos = self._pos + 1
+        text = self._text
+        while True:
+            if pos >= len(text):
+                raise ParseError("unterminated literal", self._lineno)
+            char = text[pos]
+            if char == "\\":
+                if pos + 1 >= len(text):
+                    raise ParseError("dangling escape in literal", self._lineno)
+                escape = text[pos + 1]
+                if escape in _ESCAPES:
+                    chars.append(_ESCAPES[escape])
+                    pos += 2
+                    continue
+                if escape == "u" and pos + 5 < len(text):
+                    chars.append(chr(int(text[pos + 2:pos + 6], 16)))
+                    pos += 6
+                    continue
+                raise ParseError(f"unknown escape sequence \\{escape}", self._lineno)
+            if char == '"':
+                pos += 1
+                break
+            chars.append(char)
+            pos += 1
+        lexical = "".join(chars)
+        datatype = None
+        language = None
+        if pos < len(text) and text[pos] == "@":
+            end = pos + 1
+            while end < len(text) and (text[end].isalnum() or text[end] == "-"):
+                end += 1
+            language = text[pos + 1:end]
+            pos = end
+        elif text.startswith("^^<", pos):
+            end = text.find(">", pos + 3)
+            if end < 0:
+                raise ParseError("unterminated datatype URI", self._lineno)
+            datatype = text[pos + 3:end]
+            pos = end + 1
+        self._pos = pos
+        return Literal(lexical, datatype=datatype, language=language)
+
+
+def parse(source):
+    """Parse N-Triples text (or a file-like object); yields triples."""
+    return NTriplesParser().parse(source)
+
+
+def parse_file(path):
+    """Parse an N-Triples file into a :class:`Graph`."""
+    graph = Graph()
+    with open(path, "r", encoding="utf-8") as handle:
+        for triple in parse(handle):
+            graph.add(triple)
+    return graph
+
+
+def parse_graph(text):
+    """Parse N-Triples text into a :class:`Graph`."""
+    return Graph(parse(text))

@@ -1,0 +1,49 @@
+"""SPARQL query processor: parser, algebra, optimizer, evaluator, engine."""
+
+from .algebra import translate_group, translate_query
+from .ast import AskQuery, SelectQuery
+from .bindings import EMPTY_BINDING, Binding
+from .engine import (
+    ENGINE_PRESETS,
+    IN_MEMORY_BASELINE,
+    IN_MEMORY_OPTIMIZED,
+    NATIVE_BASELINE,
+    NATIVE_OPTIMIZED,
+    EngineConfig,
+    SparqlEngine,
+    load_engines,
+)
+from .errors import EvaluationError, ExpressionError, SparqlError, SparqlSyntaxError
+from .evaluator import NESTED_LOOP, SCAN_HASH, Evaluator
+from .optimizer import optimize, reorder_patterns
+from .parser import parse_query
+from .results import AskResult, SelectResult
+
+__all__ = [
+    "parse_query",
+    "translate_query",
+    "translate_group",
+    "optimize",
+    "reorder_patterns",
+    "Evaluator",
+    "NESTED_LOOP",
+    "SCAN_HASH",
+    "Binding",
+    "EMPTY_BINDING",
+    "SelectQuery",
+    "AskQuery",
+    "SelectResult",
+    "AskResult",
+    "SparqlEngine",
+    "EngineConfig",
+    "load_engines",
+    "ENGINE_PRESETS",
+    "IN_MEMORY_BASELINE",
+    "IN_MEMORY_OPTIMIZED",
+    "NATIVE_BASELINE",
+    "NATIVE_OPTIMIZED",
+    "SparqlError",
+    "SparqlSyntaxError",
+    "EvaluationError",
+    "ExpressionError",
+]

@@ -1,0 +1,28 @@
+"""Error hierarchy for the SPARQL query processor."""
+
+
+class SparqlError(Exception):
+    """Base class for all SPARQL-layer errors."""
+
+
+class SparqlSyntaxError(SparqlError):
+    """Raised when query text cannot be tokenized or parsed."""
+
+    def __init__(self, message, position=None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class EvaluationError(SparqlError):
+    """Raised when algebra evaluation hits an unrecoverable condition."""
+
+
+class ExpressionError(SparqlError):
+    """Raised by FILTER expression evaluation for SPARQL type errors.
+
+    Per the SPARQL semantics, a type error inside a FILTER makes the filter
+    condition evaluate to false for that solution; the evaluator catches this
+    exception to implement that behaviour.
+    """

@@ -1,0 +1,418 @@
+"""Bottom-up evaluation of the SPARQL algebra against a triple store.
+
+Two join strategies for basic graph patterns are provided, mirroring the two
+engine families the paper benchmarks:
+
+``nested_loop``
+    Index nested-loop join: patterns are evaluated left to right and, for
+    every intermediate solution, the already-bound components are substituted
+    into the next pattern before asking the store.  With an
+    :class:`~repro.store.IndexedStore` backend each such probe is an index
+    lookup, which is what gives native engines (Sesame-native, Virtuoso)
+    near-constant time on selective queries such as Q1, Q3c, Q10, and Q12c.
+
+``scan_hash``
+    Scan-and-hash join: each pattern is matched once against the whole store
+    (a linear scan on a :class:`~repro.store.MemoryStore`) and the resulting
+    binding sets are hash-joined.  Every query therefore costs at least one
+    full pass over the document — the "in-memory engines must always load and
+    scan the document" behaviour discussed for ARQ and Sesame-memory.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+from ..rdf.terms import Variable, term_sort_key
+from . import algebra
+from .bindings import EMPTY_BINDING, Binding
+from .errors import EvaluationError
+from .expressions import effective_boolean_value
+
+NESTED_LOOP = "nested_loop"
+SCAN_HASH = "scan_hash"
+_STRATEGIES = (NESTED_LOOP, SCAN_HASH)
+
+
+class Evaluator:
+    """Evaluates algebra trees over a :class:`~repro.store.TripleStore`.
+
+    ``reuse_patterns`` enables the third optimization the paper calls out
+    (Table II row 5): when the same triple pattern shape occurs several times
+    in a query (Q4 scans the article/creator/name patterns twice, Q6/Q7/Q8
+    repeat whole blocks), its scan result is computed once and reused.  The
+    cache lives for a single evaluation, keyed by the pattern's bound
+    components, and is only consulted for scans whose bound components come
+    from the query itself (not from intermediate bindings).
+    """
+
+    def __init__(self, store, strategy=NESTED_LOOP, reuse_patterns=False):
+        if strategy not in _STRATEGIES:
+            raise EvaluationError(f"unknown join strategy {strategy!r}")
+        self._store = store
+        self._strategy = strategy
+        self._reuse_patterns = reuse_patterns
+        self._pattern_cache = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def evaluate(self, node):
+        """Evaluate an algebra tree.
+
+        Returns an iterator of :class:`Binding` for SELECT-shaped trees and a
+        bool for :class:`~repro.sparql.algebra.Ask` roots.
+        """
+        if isinstance(node, algebra.Ask):
+            for _solution in self._eval(node.operand):
+                return True
+            return False
+        return self._eval(node)
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _eval(self, node):
+        if isinstance(node, algebra.BGP):
+            return self._eval_bgp(node)
+        if isinstance(node, algebra.Join):
+            return self._eval_join(node)
+        if isinstance(node, algebra.LeftJoin):
+            return self._eval_left_join(node)
+        if isinstance(node, algebra.Union):
+            return self._eval_union(node)
+        if isinstance(node, algebra.Filter):
+            return self._eval_filter(node)
+        if isinstance(node, algebra.Project):
+            return self._eval_project(node)
+        if isinstance(node, algebra.Distinct):
+            return self._eval_distinct(node)
+        if isinstance(node, algebra.OrderBy):
+            return self._eval_order_by(node)
+        if isinstance(node, algebra.Slice):
+            return self._eval_slice(node)
+        if isinstance(node, algebra.Group):
+            return self._eval_group(node)
+        raise EvaluationError(f"cannot evaluate algebra node {node!r}")
+
+    # -- basic graph patterns ------------------------------------------------------
+
+    def _eval_bgp(self, node):
+        if not node.patterns:
+            return iter((EMPTY_BINDING,))
+        if self._strategy == NESTED_LOOP:
+            return self._bgp_nested_loop(node)
+        return self._bgp_scan_hash(node)
+
+    def _bgp_nested_loop(self, node):
+        solutions = iter((EMPTY_BINDING,))
+        for position, pattern in enumerate(node.patterns):
+            solutions = self._extend_by_pattern(solutions, pattern)
+            for expression in node.filters_at(position):
+                solutions = self._apply_inline_filter(solutions, expression)
+        return solutions
+
+    @staticmethod
+    def _apply_inline_filter(solutions, expression):
+        for binding in solutions:
+            if effective_boolean_value(expression, binding):
+                yield binding
+
+    def _extend_by_pattern(self, solutions, pattern):
+        for binding in solutions:
+            yield from self._match_pattern(pattern, binding)
+
+    def _match_pattern(self, pattern, binding):
+        lookup = []
+        for term in pattern:
+            if isinstance(term, Variable):
+                lookup.append(binding.get(term))
+            else:
+                lookup.append(term)
+        for triple in self._store.triples(*lookup):
+            extended = _bind_triple(pattern, triple, binding)
+            if extended is not None:
+                yield extended
+
+    def _bgp_scan_hash(self, node):
+        solutions = [EMPTY_BINDING]
+        for position, pattern in enumerate(node.patterns):
+            pattern_bindings = []
+            for triple in self._scan_pattern(pattern):
+                extended = _bind_triple(pattern, triple, EMPTY_BINDING)
+                if extended is not None:
+                    pattern_bindings.append(extended)
+            solutions = _hash_join(solutions, pattern_bindings)
+            for expression in node.filters_at(position):
+                solutions = [
+                    binding
+                    for binding in solutions
+                    if effective_boolean_value(expression, binding)
+                ]
+            if not solutions:
+                break
+        return iter(solutions)
+
+    def _scan_pattern(self, pattern):
+        """Match one triple pattern against the whole store.
+
+        With pattern reuse enabled, the (ground-component) lookup is answered
+        from the per-evaluation cache when the same pattern shape was scanned
+        before.
+        """
+        lookup = tuple(
+            term if not isinstance(term, Variable) else None for term in pattern
+        )
+        if not self._reuse_patterns:
+            return self._store.triples(*lookup)
+        cached = self._pattern_cache.get(lookup)
+        if cached is None:
+            cached = list(self._store.triples(*lookup))
+            self._pattern_cache[lookup] = cached
+        return cached
+
+    # -- binary operators ------------------------------------------------------------
+
+    def _eval_join(self, node):
+        left = list(self._eval(node.left))
+        if not left:
+            return iter(())
+        right = list(self._eval(node.right))
+        return iter(_hash_join(left, right))
+
+    def _eval_left_join(self, node):
+        left = list(self._eval(node.left))
+        if not left:
+            return iter(())
+        right = list(self._eval(node.right))
+        condition = node.condition
+        results = []
+        for left_binding in left:
+            matched = False
+            for right_binding in right:
+                if not left_binding.compatible(right_binding):
+                    continue
+                merged = left_binding.merge(right_binding)
+                if condition is not None and not effective_boolean_value(condition, merged):
+                    continue
+                results.append(merged)
+                matched = True
+            if not matched:
+                results.append(left_binding)
+        return iter(results)
+
+    def _eval_union(self, node):
+        def generate():
+            yield from self._eval(node.left)
+            yield from self._eval(node.right)
+
+        return generate()
+
+    def _eval_filter(self, node):
+        expression = node.expression
+
+        def generate():
+            for binding in self._eval(node.operand):
+                if effective_boolean_value(expression, binding):
+                    yield binding
+
+        return generate()
+
+    # -- solution modifiers --------------------------------------------------------------
+
+    def _eval_project(self, node):
+        projection = node.projection
+
+        def generate():
+            for binding in self._eval(node.operand):
+                if projection is None:
+                    yield binding
+                else:
+                    yield binding.project(projection)
+
+        return generate()
+
+    def _eval_distinct(self, node):
+        def generate():
+            seen = set()
+            for binding in self._eval(node.operand):
+                key = frozenset(binding.items())
+                if key not in seen:
+                    seen.add(key)
+                    yield binding
+
+        return generate()
+
+    def _eval_order_by(self, node):
+        solutions = list(self._eval(node.operand))
+        # Apply conditions right-to-left so the first condition dominates
+        # (stable sort composition).
+        for variable, ascending in reversed(node.conditions):
+            solutions.sort(
+                key=lambda binding: term_sort_key(binding.get(variable)),
+                reverse=not ascending,
+            )
+        return iter(solutions)
+
+    def _eval_slice(self, node):
+        start = node.offset or 0
+        stop = None if node.limit is None else start + node.limit
+        return islice(self._eval(node.operand), start, stop)
+
+    def _eval_group(self, node):
+        """GROUP BY partitioning plus aggregate computation."""
+        groups = {}
+        for binding in self._eval(node.operand):
+            key = tuple(binding.get(variable) for variable in node.group_vars)
+            groups.setdefault(key, []).append(binding)
+        if not groups and not node.group_vars:
+            # Aggregates over an empty solution sequence still yield one row
+            # (COUNT() = 0), matching SQL/SPARQL 1.1 behaviour.
+            groups[()] = []
+        results = []
+        for key, members in groups.items():
+            values = {
+                variable.name: term
+                for variable, term in zip(node.group_vars, key)
+                if term is not None
+            }
+            for aggregate in node.aggregates:
+                values[aggregate.alias.name] = _compute_aggregate(aggregate, members)
+            results.append(Binding(values))
+        return iter(results)
+
+
+# -- aggregation ---------------------------------------------------------------------
+
+
+def _compute_aggregate(aggregate, bindings):
+    """Compute one aggregate over the solutions of a group.
+
+    COUNT counts rows (for ``*``) or bound values; SUM/AVG/MIN/MAX operate on
+    the typed values of the aggregated variable, skipping unbound rows.
+    Numeric results are returned as integer literals when they are whole.
+    """
+    from ..rdf.terms import Literal
+
+    if aggregate.variable is None:
+        return Literal(len(bindings))
+    values = [binding.get(aggregate.variable) for binding in bindings]
+    values = [value for value in values if value is not None]
+    if aggregate.distinct:
+        seen = []
+        for value in values:
+            if value not in seen:
+                seen.append(value)
+        values = seen
+    if aggregate.function == "COUNT":
+        return Literal(len(values))
+    numbers = []
+    for value in values:
+        python_value = value.to_python() if isinstance(value, Literal) else None
+        if isinstance(python_value, bool) or not isinstance(python_value, (int, float)):
+            continue
+        numbers.append(python_value)
+    if not numbers:
+        return Literal(0)
+    if aggregate.function == "SUM":
+        result = sum(numbers)
+    elif aggregate.function == "AVG":
+        result = sum(numbers) / len(numbers)
+    elif aggregate.function == "MIN":
+        result = min(numbers)
+    elif aggregate.function == "MAX":
+        result = max(numbers)
+    else:
+        raise EvaluationError(f"unknown aggregate function {aggregate.function!r}")
+    if isinstance(result, float) and result.is_integer():
+        result = int(result)
+    return Literal(result)
+
+
+# -- helpers shared by strategies --------------------------------------------------
+
+
+def _bind_triple(pattern, triple, binding):
+    """Extend ``binding`` so that ``pattern`` maps onto ``triple``.
+
+    Returns None when the triple conflicts with existing bindings or with a
+    repeated variable inside the pattern.
+    """
+    updates = {}
+    for pattern_term, data_term in zip(pattern, triple):
+        if not isinstance(pattern_term, Variable):
+            if pattern_term != data_term:
+                return None
+            continue
+        name = pattern_term.name
+        bound = binding.get(name)
+        if bound is not None:
+            if bound != data_term:
+                return None
+            continue
+        if name in updates:
+            if updates[name] != data_term:
+                return None
+            continue
+        updates[name] = data_term
+    if not updates:
+        return binding
+    merged = binding.as_dict()
+    merged.update(updates)
+    return Binding(merged)
+
+
+def _hash_join(left, right):
+    """Join two binding lists on their shared variables.
+
+    Bindings that bind every shared variable are joined through a hash table;
+    bindings with unbound shared variables (possible after OPTIONAL) fall
+    back to pairwise compatibility checks.
+    """
+    if not left or not right:
+        return []
+    left_vars = set()
+    for binding in left:
+        left_vars |= binding.variables()
+    right_vars = set()
+    for binding in right:
+        right_vars |= binding.variables()
+    shared = tuple(sorted(left_vars & right_vars))
+    results = []
+    if not shared:
+        for left_binding in left:
+            for right_binding in right:
+                results.append(left_binding.merge(right_binding))
+        return results
+
+    keyed = {}
+    unkeyed_right = []
+    for right_binding in right:
+        key = _join_key(right_binding, shared)
+        if key is None:
+            unkeyed_right.append(right_binding)
+        else:
+            keyed.setdefault(key, []).append(right_binding)
+
+    for left_binding in left:
+        key = _join_key(left_binding, shared)
+        if key is None:
+            candidates = right
+        else:
+            candidates = keyed.get(key, ())
+        for right_binding in candidates:
+            if left_binding.compatible(right_binding):
+                results.append(left_binding.merge(right_binding))
+        if key is not None:
+            for right_binding in unkeyed_right:
+                if left_binding.compatible(right_binding):
+                    results.append(left_binding.merge(right_binding))
+    return results
+
+
+def _join_key(binding, shared):
+    values = []
+    for name in shared:
+        value = binding.get(name)
+        if value is None:
+            return None
+        values.append(value)
+    return tuple(values)

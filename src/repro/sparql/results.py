@@ -1,0 +1,80 @@
+"""Query result containers returned by :class:`~repro.sparql.engine.SparqlEngine`."""
+
+from __future__ import annotations
+
+
+class SelectResult:
+    """The result of a SELECT query: an ordered sequence of solution mappings."""
+
+    form = "SELECT"
+
+    def __init__(self, variables, bindings):
+        self.variables = list(variables)
+        self.bindings = list(bindings)
+
+    def __len__(self):
+        return len(self.bindings)
+
+    def __iter__(self):
+        return iter(self.bindings)
+
+    def __getitem__(self, index):
+        return self.bindings[index]
+
+    def __bool__(self):
+        return bool(self.bindings)
+
+    def rows(self):
+        """Result rows as tuples following the projection variable order."""
+        names = [v.name if hasattr(v, "name") else str(v).lstrip("?") for v in self.variables]
+        return [tuple(binding.get(name) for name in names) for binding in self.bindings]
+
+    def column(self, variable):
+        """All values of one projection variable, in row order."""
+        name = variable.name if hasattr(variable, "name") else str(variable).lstrip("?")
+        return [binding.get(name) for binding in self.bindings]
+
+    def as_multiset(self):
+        """The result as a multiset of frozen mappings (order-insensitive compare)."""
+        counts = {}
+        for binding in self.bindings:
+            key = frozenset(binding.items())
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def __eq__(self, other):
+        if not isinstance(other, SelectResult):
+            return NotImplemented
+        return self.as_multiset() == other.as_multiset()
+
+    def __repr__(self):
+        return f"SelectResult(rows={len(self.bindings)}, vars={[str(v) for v in self.variables]})"
+
+
+class AskResult:
+    """The result of an ASK query: a boolean."""
+
+    form = "ASK"
+
+    def __init__(self, value):
+        self.value = bool(value)
+
+    def __bool__(self):
+        return self.value
+
+    def __eq__(self, other):
+        if isinstance(other, AskResult):
+            return self.value == other.value
+        if isinstance(other, bool):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((AskResult, self.value))
+
+    def __len__(self):
+        # Mirrors the paper's result-size tables where ASK answers count as one row.
+        return 1
+
+    def __repr__(self):
+        return f"AskResult({self.value})"

@@ -1,0 +1,15 @@
+"""Triple-storage substrate: unindexed and indexed stores plus statistics."""
+
+from .base import TripleStore
+from .dictionary import TermDictionary
+from .indexed_store import IndexedStore
+from .memory_store import MemoryStore
+from .statistics import StoreStatistics
+
+__all__ = [
+    "TripleStore",
+    "MemoryStore",
+    "IndexedStore",
+    "TermDictionary",
+    "StoreStatistics",
+]

@@ -1,0 +1,70 @@
+"""Abstract triple-store interface shared by all storage backends.
+
+The paper distinguishes *in-memory engines* (ARQ, Sesame-memory), which scan
+the loaded document, from *native engines* (Sesame-native, Virtuoso), which
+answer triple patterns from physical indexes.  Both families are modelled as
+implementations of :class:`TripleStore`; the SPARQL evaluator is written
+against this interface only, so engine behaviour differences come purely from
+the storage/access-path characteristics — exactly the axis SP2Bench probes.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class TripleStore(abc.ABC):
+    """Interface every storage backend implements."""
+
+    #: Human-readable backend name used in benchmark reports.
+    name = "abstract"
+
+    @abc.abstractmethod
+    def add(self, triple):
+        """Add one ground triple.  Returns True if it was new."""
+
+    @abc.abstractmethod
+    def triples(self, subject=None, predicate=None, object=None):
+        """Yield stored triples matching the wildcard pattern."""
+
+    @abc.abstractmethod
+    def __len__(self):
+        """Total number of stored triples."""
+
+    # -- generic conveniences built on the abstract core -------------------
+
+    def load_graph(self, graph):
+        """Bulk-load every triple of an iterable/Graph.  Returns count added."""
+        added = 0
+        for triple in graph:
+            if self.add(triple):
+                added += 1
+        return added
+
+    def contains(self, triple):
+        """True if the exact ground triple is stored."""
+        for _match in self.triples(triple.subject, triple.predicate, triple.object):
+            return True
+        return False
+
+    def count(self, subject=None, predicate=None, object=None):
+        """Number of triples matching the pattern.
+
+        Backends with indexes override this with a cheaper implementation;
+        the default counts by iteration.
+        """
+        return sum(1 for _t in self.triples(subject, predicate, object))
+
+    def estimate_count(self, subject=None, predicate=None, object=None):
+        """Estimated number of matches, used by the query optimizer.
+
+        The default estimate is exact (it counts); index-backed stores return
+        cheap estimates from their statistics instead.
+        """
+        return self.count(subject, predicate, object)
+
+    def __iter__(self):
+        return self.triples()
+
+    def __contains__(self, triple):
+        return self.contains(triple)

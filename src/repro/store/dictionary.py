@@ -1,0 +1,46 @@
+"""Dictionary encoding of RDF terms to dense integer identifiers.
+
+Native RDF stores (the paper cites Sesame's native SAIL and Virtuoso)
+dictionary-encode terms so that index entries are small fixed-size integers.
+:class:`TermDictionary` provides the same service for :class:`IndexedStore`.
+Identifiers are assigned in first-seen order, which keeps encoding
+deterministic for a deterministic input stream — a property the round-trip
+and determinism tests rely on.
+"""
+
+from __future__ import annotations
+
+
+class TermDictionary:
+    """A bidirectional term <-> integer id mapping."""
+
+    def __init__(self):
+        self._term_to_id = {}
+        self._id_to_term = []
+
+    def encode(self, term):
+        """Return the id for ``term``, assigning a fresh one if unseen."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_term)
+        self._term_to_id[term] = new_id
+        self._id_to_term.append(term)
+        return new_id
+
+    def lookup(self, term):
+        """Return the id for ``term`` or None if the term was never encoded."""
+        return self._term_to_id.get(term)
+
+    def decode(self, term_id):
+        """Return the term for a previously assigned id."""
+        return self._id_to_term[term_id]
+
+    def __contains__(self, term):
+        return term in self._term_to_id
+
+    def __len__(self):
+        return len(self._id_to_term)
+
+    def __repr__(self):
+        return f"TermDictionary(len={len(self)})"

@@ -1,0 +1,58 @@
+"""Unindexed in-memory triple store (the paper's "in-memory engine" model).
+
+Every triple-pattern lookup is a linear scan over the full document, which is
+what makes the in-memory engines of the paper (ARQ, Sesame-memory) scale with
+document size even for highly selective queries like Q1 or Q12c.  A small
+duplicate-detection set is kept so that loading is idempotent, but no access
+path other than the scan exists.
+"""
+
+from __future__ import annotations
+
+from .base import TripleStore
+
+
+class MemoryStore(TripleStore):
+    """A list-backed store answering patterns by scanning."""
+
+    name = "memory"
+
+    def __init__(self, triples=None):
+        self._triples = []
+        self._seen = set()
+        if triples is not None:
+            self.load_graph(triples)
+
+    def add(self, triple):
+        if triple in self._seen:
+            return False
+        self._seen.add(triple)
+        self._triples.append(triple)
+        return True
+
+    def remove(self, triple):
+        """Remove a triple if present; returns True when removed."""
+        if triple not in self._seen:
+            return False
+        self._seen.discard(triple)
+        self._triples.remove(triple)
+        return True
+
+    def triples(self, subject=None, predicate=None, object=None):
+        for triple in self._triples:
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if object is not None and triple.object != object:
+                continue
+            yield triple
+
+    def contains(self, triple):
+        return triple in self._seen
+
+    def __len__(self):
+        return len(self._triples)
+
+    def __repr__(self):
+        return f"MemoryStore(len={len(self)})"

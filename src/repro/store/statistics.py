@@ -1,0 +1,106 @@
+"""Store-level statistics used for selectivity estimation.
+
+Section V of the paper discusses triple-pattern reordering based on
+selectivity estimation (citing Stocker et al.) and notes that schema
+statistics allow native engines to answer queries such as Q3c (no article has
+``swrc:isbn``) or Q9 (schema extraction) in near-constant time.
+:class:`StoreStatistics` collects the counts those techniques need:
+
+* triples per predicate,
+* distinct subjects/objects per predicate,
+* instances per ``rdf:type`` class.
+"""
+
+from __future__ import annotations
+
+from ..rdf.namespace import RDF
+
+_RDF_TYPE = RDF.type
+
+
+class StoreStatistics:
+    """Incremental counts maintained while triples are added to a store."""
+
+    def __init__(self):
+        self.triple_count = 0
+        self.predicate_counts = {}
+        self._predicate_subjects = {}
+        self._predicate_objects = {}
+        self.class_counts = {}
+
+    def observe(self, triple):
+        """Record one added triple."""
+        self.triple_count += 1
+        predicate = triple.predicate
+        self.predicate_counts[predicate] = self.predicate_counts.get(predicate, 0) + 1
+        self._predicate_subjects.setdefault(predicate, set()).add(triple.subject)
+        self._predicate_objects.setdefault(predicate, set()).add(triple.object)
+        if predicate == _RDF_TYPE:
+            self.class_counts[triple.object] = self.class_counts.get(triple.object, 0) + 1
+
+    # -- accessors ---------------------------------------------------------
+
+    def predicate_count(self, predicate):
+        """Number of triples carrying ``predicate``."""
+        return self.predicate_counts.get(predicate, 0)
+
+    def distinct_subjects(self, predicate):
+        """Number of distinct subjects appearing with ``predicate``."""
+        return len(self._predicate_subjects.get(predicate, ()))
+
+    def distinct_objects(self, predicate):
+        """Number of distinct objects appearing with ``predicate``."""
+        return len(self._predicate_objects.get(predicate, ()))
+
+    def class_count(self, class_uri):
+        """Number of ``rdf:type`` instances of ``class_uri``."""
+        return self.class_counts.get(class_uri, 0)
+
+    # -- selectivity estimation ---------------------------------------------
+
+    def estimate(self, subject, predicate, object):
+        """Estimate the number of triples matching an (s, p, o) pattern.
+
+        ``None`` marks a wildcard position.  The estimates follow the classic
+        attribute-independence model: start from the predicate count (or the
+        total triple count for a variable predicate) and divide by the number
+        of distinct subjects/objects for each bound subject/object.
+        """
+        if predicate is not None:
+            base = self.predicate_count(predicate)
+            if base == 0:
+                return 0
+            estimate = float(base)
+            if subject is not None:
+                estimate /= max(self.distinct_subjects(predicate), 1)
+            if object is not None:
+                if predicate == _RDF_TYPE and subject is None:
+                    return self.class_count(object)
+                estimate /= max(self.distinct_objects(predicate), 1)
+            return max(estimate, 0.0)
+        # Variable predicate: fall back to the total count, scaled down when
+        # subject and/or object are bound.
+        estimate = float(self.triple_count)
+        if subject is not None:
+            estimate /= max(len(self._all_subjects()), 1)
+        if object is not None:
+            estimate /= max(len(self._all_objects()), 1)
+        return estimate
+
+    def _all_subjects(self):
+        subjects = set()
+        for per_predicate in self._predicate_subjects.values():
+            subjects.update(per_predicate)
+        return subjects
+
+    def _all_objects(self):
+        objects = set()
+        for per_predicate in self._predicate_objects.values():
+            objects.update(per_predicate)
+        return objects
+
+    def __repr__(self):
+        return (
+            f"StoreStatistics(triples={self.triple_count}, "
+            f"predicates={len(self.predicate_counts)}, classes={len(self.class_counts)})"
+        )

@@ -1,0 +1,100 @@
+"""Tests for the Section III measurements over generated documents."""
+
+import pytest
+
+from repro.analysis import DocumentSetStatistics, analyze
+from repro.generator import attribute_probability
+
+
+@pytest.fixture(scope="module")
+def stats(generated_graph_medium):
+    return DocumentSetStatistics(generated_graph_medium)
+
+
+class TestClassCounts:
+    def test_class_counts_cover_core_classes(self, stats):
+        counts = stats.class_counts()
+        assert counts.get("article", 0) > 0
+        assert counts.get("journal", 0) > 0
+        assert counts.get("inproceedings", 0) > 0
+
+    def test_articles_dominate_books(self, stats):
+        counts = stats.class_counts()
+        assert counts.get("article", 0) > 10 * counts.get("book", 0)
+
+    def test_counts_by_year_increase_over_time(self, stats):
+        by_year = stats.class_counts_by_year()
+        years = sorted(by_year)
+        early, late = years[0], years[-1]
+        early_total = sum(by_year[early].values())
+        late_total = sum(by_year[late].values())
+        assert late_total > early_total
+
+    def test_last_year_is_plausible(self, stats):
+        assert 1945 <= stats.last_year() <= 1975
+
+
+class TestAttributeProbabilities:
+    def test_measured_pages_probability_matches_table1(self, stats):
+        measured = stats.attribute_probability("pages", "article")
+        assert measured == pytest.approx(attribute_probability("pages", "article"), abs=0.08)
+
+    def test_measured_month_probability_is_small(self, stats):
+        assert stats.attribute_probability("month", "article") < 0.05
+
+    def test_isbn_never_on_articles(self, stats):
+        assert stats.attribute_probability("isbn", "article") == 0.0
+
+    def test_title_always_present(self, stats):
+        assert stats.attribute_probability("title", "article") == pytest.approx(1.0)
+
+    def test_probability_of_unused_class_is_zero(self, stats):
+        assert stats.attribute_probability("pages", "www") == 0.0
+
+    def test_probability_table_shape(self, stats):
+        table = stats.attribute_probability_table(("pages", "month"), ("article",))
+        assert set(table) == {"pages", "month"}
+        assert set(table["pages"]) == {"article"}
+
+
+class TestAuthors:
+    def test_total_authors_exceed_distinct_authors(self, stats):
+        assert stats.total_authors() >= stats.distinct_authors() > 0
+
+    def test_authors_per_paper_histogram_starts_at_one(self, stats):
+        histogram = stats.authors_per_paper_histogram()
+        assert min(histogram) >= 1
+
+    def test_publication_count_histogram_long_tailed(self, stats):
+        histogram = stats.publication_count_histogram()
+        # More authors with one publication than with five or more.
+        few = histogram.get(1, 0)
+        many = sum(count for publications, count in histogram.items() if publications >= 5)
+        assert few > many
+
+    def test_person_count_consistency(self, stats):
+        assert stats.person_count() >= stats.distinct_authors()
+        assert stats.blank_node_person_count() == stats.person_count() - 1
+
+
+class TestCitations:
+    def test_outgoing_histogram_within_gaussian_support(self, stats):
+        histogram = stats.outgoing_citation_histogram()
+        if histogram:
+            assert max(histogram) <= 80
+
+    def test_incoming_histogram_skewed(self, stats):
+        histogram = stats.incoming_citation_histogram()
+        if histogram:
+            assert min(histogram) >= 1
+
+
+class TestSummary:
+    def test_summary_fields(self, stats, generated_graph_medium):
+        summary = stats.summary()
+        assert summary["triples"] == len(generated_graph_medium)
+        assert summary["total_authors"] == stats.total_authors()
+        assert "class_counts" in summary
+
+    def test_analyze_helper(self, generated_graph_small):
+        assert isinstance(analyze(generated_graph_small), DocumentSetStatistics)

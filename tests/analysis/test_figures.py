@@ -1,0 +1,71 @@
+"""Tests for the Figure 2 data series."""
+
+import pytest
+
+from repro.analysis import (
+    citation_distribution_series,
+    document_class_series,
+    incoming_citation_series,
+    publication_count_series,
+)
+
+
+class TestFigure2a:
+    def test_model_probabilities_peak_near_mu(self):
+        series = citation_distribution_series()["model"]
+        probabilities = dict(series)
+        assert probabilities[17] > probabilities[5]
+        assert probabilities[17] > probabilities[45]
+
+    def test_measured_series_is_normalised(self, generated_graph_medium):
+        measured = citation_distribution_series(generated_graph_medium)["measured"]
+        if measured is not None:
+            total = sum(probability for _x, probability in measured)
+            assert total <= 1.0 + 1e-9
+
+    def test_series_covers_requested_range(self):
+        series = citation_distribution_series(max_citations=25)["model"]
+        assert [x for x, _p in series] == list(range(1, 26))
+
+
+class TestFigure2b:
+    def test_model_counts_grow_with_year(self):
+        model = document_class_series()["model"]
+        articles = dict(model["article"])
+        assert articles[2005] > articles[1980] > articles[1960]
+
+    def test_inproceedings_exceed_proceedings(self):
+        model = document_class_series()["model"]
+        inproceedings = dict(model["inproceedings"])
+        proceedings = dict(model["proceedings"])
+        for year in (1990, 2000):
+            assert inproceedings[year] > proceedings[year]
+
+    def test_measured_counts_available_for_generated_years(self, generated_graph_medium):
+        years = tuple(range(1940, 1961))
+        measured = document_class_series(generated_graph_medium, years=years)["measured"]
+        article_counts = dict(measured["article"])
+        assert sum(article_counts.values()) > 0
+
+
+class TestFigure2c:
+    def test_model_is_decreasing_in_publication_count(self):
+        model = publication_count_series()["model"]
+        series_1995 = dict(model[1995])
+        assert series_1995[1] > series_1995[5] > series_1995[20]
+
+    def test_model_moves_up_over_years(self):
+        model = publication_count_series()["model"]
+        assert dict(model[2005])[1] > dict(model[1975])[1]
+
+    def test_measured_histogram_long_tailed(self, generated_graph_medium):
+        measured = publication_count_series(generated_graph_medium)["measured"]
+        counts = dict(measured)
+        assert counts[1] > counts.get(10, 0)
+
+
+class TestIncomingCitations:
+    def test_series_shape(self, generated_graph_medium):
+        series = incoming_citation_series(generated_graph_medium, max_count=10)
+        assert [x for x, _count in series] == list(range(1, 11))
+        assert all(count >= 0 for _x, count in series)

@@ -1,0 +1,95 @@
+"""Integration tests for the benchmark harness and report views."""
+
+import pytest
+
+from repro.bench import BenchmarkHarness, ExperimentConfig
+from repro.queries import get_query
+from repro.sparql import IN_MEMORY_BASELINE, NATIVE_OPTIMIZED
+
+
+QUICK_QUERIES = tuple(get_query(q) for q in ("Q1", "Q3c", "Q9", "Q10", "Q11", "Q12c"))
+
+
+@pytest.fixture(scope="module")
+def report():
+    config = ExperimentConfig(
+        document_sizes=(800, 1600),
+        engines=(IN_MEMORY_BASELINE, NATIVE_OPTIMIZED),
+        queries=QUICK_QUERIES,
+        timeout=30.0,
+        trace_memory=False,
+    )
+    return BenchmarkHarness(config).run()
+
+
+class TestExperimentExecution:
+    def test_generation_times_recorded_per_size(self, report):
+        assert set(report.generation_times) == {800, 1600}
+        assert all(value >= 0.0 for value in report.generation_times.values())
+
+    def test_document_stats_recorded(self, report):
+        assert report.document_stats[1600]["triples"] >= 1600
+
+    def test_loading_times_for_every_engine_and_size(self, report):
+        assert set(report.loading_times) == {
+            (engine, size)
+            for engine in ("inmemory-baseline", "native-optimized")
+            for size in (800, 1600)
+        }
+
+    def test_one_measurement_per_engine_query_size(self, report):
+        expected = 2 * 2 * len(QUICK_QUERIES)
+        assert len(report.measurements) == expected
+
+    def test_all_quick_queries_succeed(self, report):
+        assert all(m.succeeded for m in report.measurements)
+
+
+class TestReportViews:
+    def test_engine_names(self, report):
+        assert report.engine_names() == ["inmemory-baseline", "native-optimized"]
+
+    def test_measurement_filtering(self, report):
+        subset = report.measurements_for(engine="native-optimized", size=800, query_id="Q1")
+        assert len(subset) == 1
+
+    def test_success_matrix_shape(self, report):
+        matrix = report.success_matrix("native-optimized")
+        assert set(matrix) == {800, 1600}
+        assert matrix[800]["Q1"] == "+"
+
+    def test_success_rate_all_success(self, report):
+        rate = report.success_rate("native-optimized")
+        assert rate["success_ratio"] == 1.0
+
+    def test_global_performance_fields(self, report):
+        stats = report.global_performance("native-optimized", 1600)
+        assert stats["queries"] == len(QUICK_QUERIES)
+        assert stats["arithmetic_mean_time"] >= stats["geometric_mean_time"] > 0.0
+
+    def test_result_sizes_match_known_invariants(self, report):
+        sizes = report.result_sizes(1600)
+        assert sizes["Q1"] == 1
+        assert sizes["Q3c"] == 0
+        assert sizes["Q9"] == 4
+        assert sizes["Q11"] <= 10
+
+    def test_per_query_series_covers_both_sizes(self, report):
+        series = report.per_query_series("native-optimized", "Q10")
+        assert [size for size, _time in series] == [800, 1600]
+        assert all(time is not None for _size, time in series)
+
+    def test_generated_documents_reusable_across_runs(self, report):
+        # The harness accepts pre-generated documents so the same data can be
+        # shared between experiments (used by the ablation benches).
+        config = ExperimentConfig(
+            document_sizes=(800,),
+            engines=(NATIVE_OPTIMIZED,),
+            queries=(get_query("Q1"),),
+            trace_memory=False,
+        )
+        harness = BenchmarkHarness(config)
+        documents = harness.generate_documents()
+        first = harness.run(documents)
+        second = harness.run(documents)
+        assert first.result_sizes(800) == second.result_sizes(800)

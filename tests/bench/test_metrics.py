@@ -1,0 +1,120 @@
+"""Unit tests for the benchmark metrics (Section VI-B)."""
+
+import math
+
+import pytest
+
+from repro.bench import (
+    ERROR,
+    MEMORY,
+    SUCCESS,
+    TIMEOUT,
+    QueryMeasurement,
+    arithmetic_mean,
+    geometric_mean,
+    global_performance,
+    success_matrix,
+    success_rate,
+)
+from repro.bench.metrics import penalized_times
+
+
+def measurement(query_id="Q1", status=SUCCESS, elapsed=1.0, size=1000, memory=1024):
+    return QueryMeasurement(
+        query_id=query_id,
+        engine="native-optimized",
+        document_size=size,
+        status=status,
+        elapsed=elapsed,
+        peak_memory=memory,
+    )
+
+
+class TestMeans:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_arithmetic_mean_empty(self):
+        assert arithmetic_mean([]) == 0.0
+
+    def test_geometric_mean_basic(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_geometric_mean_is_nth_root_of_product(self):
+        values = [2.0, 4.0, 8.0]
+        expected = math.prod(values) ** (1.0 / 3.0)
+        assert geometric_mean(values) == pytest.approx(expected)
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_tolerates_zero_measurements(self):
+        assert geometric_mean([0.0, 1.0]) > 0.0
+
+    def test_geometric_mean_moderates_outliers(self):
+        # The paper points out the geometric mean moderates the impact of
+        # penalized failures compared with the arithmetic mean.
+        values = [0.01] * 16 + [3600.0]
+        assert geometric_mean(values) < arithmetic_mean(values) / 10
+
+
+class TestPenalties:
+    def test_successful_queries_keep_their_time(self):
+        times = penalized_times([measurement(elapsed=2.5)], penalty=100.0)
+        assert times == [2.5]
+
+    def test_failures_replaced_by_penalty(self):
+        times = penalized_times(
+            [measurement(status=TIMEOUT, elapsed=31.0)], penalty=100.0
+        )
+        assert times == [100.0]
+
+    def test_global_performance_applies_penalty(self):
+        measurements = [measurement(elapsed=1.0), measurement(status=ERROR, elapsed=0.1)]
+        stats = global_performance(measurements, penalty=10.0)
+        assert stats["arithmetic_mean_time"] == pytest.approx(5.5)
+        assert stats["queries"] == 2
+
+    def test_global_performance_memory_only_over_successes(self):
+        measurements = [
+            measurement(memory=2 * 1024),
+            measurement(status=TIMEOUT, memory=50 * 1024),
+        ]
+        stats = global_performance(measurements, penalty=10.0)
+        assert stats["mean_peak_memory"] == pytest.approx(2 * 1024)
+
+
+class TestSuccessRate:
+    def test_counts_by_status(self):
+        measurements = [
+            measurement(),
+            measurement(status=TIMEOUT),
+            measurement(status=MEMORY),
+            measurement(status=ERROR),
+            measurement(),
+        ]
+        rate = success_rate(measurements)
+        assert rate["counts"][SUCCESS] == 2
+        assert rate["counts"][TIMEOUT] == 1
+        assert rate["total"] == 5
+        assert rate["success_ratio"] == pytest.approx(0.4)
+
+    def test_empty_measurements(self):
+        assert success_rate([])["success_ratio"] == 0.0
+
+    def test_status_shortcuts_match_table4_legend(self):
+        assert measurement().status_shortcut() == "+"
+        assert measurement(status=TIMEOUT).status_shortcut() == "T"
+        assert measurement(status=MEMORY).status_shortcut() == "M"
+        assert measurement(status=ERROR).status_shortcut() == "E"
+
+    def test_success_matrix_layout(self):
+        measurements = [
+            measurement(query_id="Q1", size=1000),
+            measurement(query_id="Q4", size=1000, status=TIMEOUT),
+            measurement(query_id="Q1", size=5000),
+        ]
+        matrix = success_matrix(measurements)
+        assert matrix[1000]["Q1"] == "+"
+        assert matrix[1000]["Q4"] == "T"
+        assert matrix[5000]["Q1"] == "+"

@@ -1,0 +1,64 @@
+"""Unit tests for the plain-text table rendering."""
+
+import pytest
+
+from repro.bench import BenchmarkHarness, ExperimentConfig, reporting
+from repro.queries import get_query
+from repro.sparql import NATIVE_OPTIMIZED
+
+
+@pytest.fixture(scope="module")
+def report():
+    config = ExperimentConfig(
+        document_sizes=(600,),
+        engines=(NATIVE_OPTIMIZED,),
+        queries=(get_query("Q1"), get_query("Q9"), get_query("Q12c")),
+        trace_memory=False,
+    )
+    return BenchmarkHarness(config).run()
+
+
+class TestTables:
+    def test_generation_times_table(self, report):
+        text = reporting.generation_times_table(report)
+        assert "#triples" in text and "600" in text
+
+    def test_document_characteristics_table(self, report):
+        text = reporting.document_characteristics_table(report)
+        assert "data up to" in text
+        assert "#article" in text
+
+    def test_result_sizes_table_lists_select_queries(self, report):
+        text = reporting.result_sizes_table(report)
+        assert "Q1" in text and "Q9" in text
+        # Queries not run show a placeholder rather than a number.
+        assert "Q4" in text
+
+    def test_success_rate_table(self, report):
+        text = reporting.success_rate_table(report, "native-optimized")
+        assert "Q12c" in text
+        assert "+" in text
+
+    def test_global_performance_table(self, report):
+        text = reporting.global_performance_table(report)
+        assert "Ta [s]" in text and "Tg [s]" in text
+        assert "native-optimized" in text
+
+    def test_loading_times_table(self, report):
+        text = reporting.loading_times_table(report)
+        assert "loading [s]" in text
+
+    def test_per_query_table(self, report):
+        text = reporting.per_query_table(report, "Q1")
+        assert "native-optimized" in text
+
+    def test_full_report_contains_all_sections(self, report):
+        text = reporting.full_report(report)
+        for heading in ("Table III", "Table IV", "Table V", "Table VIII",
+                        "Tables VI/VII", "Loading times"):
+            assert heading in text
+
+    def test_table_columns_are_aligned(self, report):
+        text = reporting.generation_times_table(report)
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[1])

@@ -1,0 +1,79 @@
+"""Unit tests for the query runner (timeout / memory / error classification)."""
+
+import pytest
+
+from repro.bench import ERROR, SUCCESS, TIMEOUT, QueryRunner, time_loading
+from repro.queries import BenchmarkQuery, get_query
+from repro.sparql import NATIVE_OPTIMIZED, IN_MEMORY_BASELINE, SparqlEngine
+
+
+@pytest.fixture(scope="module")
+def engine(generated_graph_small):
+    return SparqlEngine.from_graph(generated_graph_small, NATIVE_OPTIMIZED)
+
+
+class TestRun:
+    def test_successful_select_measurement(self, engine):
+        runner = QueryRunner(timeout=60.0)
+        measurement = runner.run(engine, get_query("Q1"), document_size=2000)
+        assert measurement.status == SUCCESS
+        assert measurement.result_size == 1
+        assert measurement.elapsed > 0.0
+        assert measurement.query_id == "Q1"
+        assert measurement.document_size == 2000
+        assert measurement.engine == NATIVE_OPTIMIZED.name
+
+    def test_ask_query_counts_one_result(self, engine):
+        runner = QueryRunner(timeout=60.0)
+        measurement = runner.run(engine, get_query("Q12c"))
+        assert measurement.status == SUCCESS
+        assert measurement.result_size == 1
+
+    def test_timeout_classification(self, engine):
+        runner = QueryRunner(timeout=0.0)
+        measurement = runner.run(engine, get_query("Q2"))
+        assert measurement.status == TIMEOUT
+        assert measurement.elapsed > 0.0
+
+    def test_error_classification(self, engine):
+        broken = BenchmarkQuery(
+            identifier="Qbroken",
+            description="intentionally malformed",
+            text="SELECT ?x WHERE { ?x dc:title }",
+        )
+        measurement = QueryRunner(timeout=60.0).run(engine, broken)
+        assert measurement.status == ERROR
+        assert measurement.error
+
+    def test_memory_limit_classification(self, engine):
+        runner = QueryRunner(timeout=60.0, memory_limit_bytes=1)
+        measurement = runner.run(engine, get_query("Q2"))
+        assert measurement.status == "memory"
+
+    def test_memory_tracing_can_be_disabled(self, engine):
+        runner = QueryRunner(timeout=60.0, trace_memory=False)
+        measurement = runner.run(engine, get_query("Q1"))
+        assert measurement.peak_memory == 0
+
+    def test_peak_memory_positive_when_traced(self, engine):
+        runner = QueryRunner(timeout=60.0, trace_memory=True)
+        measurement = runner.run(engine, get_query("Q2"))
+        assert measurement.peak_memory > 0
+
+    def test_run_many_returns_one_measurement_per_query(self, engine):
+        runner = QueryRunner(timeout=60.0)
+        queries = (get_query("Q1"), get_query("Q3c"), get_query("Q12c"))
+        measurements = runner.run_many(engine, queries, document_size=2000)
+        assert [m.query_id for m in measurements] == ["Q1", "Q3c", "Q12c"]
+
+
+class TestLoading:
+    def test_time_loading_returns_ready_engine(self, generated_graph_small):
+        engine, elapsed = time_loading(IN_MEMORY_BASELINE, generated_graph_small)
+        assert elapsed >= 0.0
+        assert len(engine.store) == len(generated_graph_small)
+
+    def test_indexed_loading_slower_or_equal_but_both_complete(self, generated_graph_small):
+        _memory_engine, memory_time = time_loading(IN_MEMORY_BASELINE, generated_graph_small)
+        _native_engine, native_time = time_loading(NATIVE_OPTIMIZED, generated_graph_small)
+        assert memory_time >= 0.0 and native_time >= 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for the Table I / Table IX attribute probability matrix."""
+
+import random
+
+import pytest
+
+from repro.generator import (
+    ATTRIBUTES,
+    DOCUMENT_CLASSES,
+    attribute_probability,
+    class_probabilities,
+    probability_table,
+    sample_attributes,
+)
+
+
+class TestMatrixContents:
+    def test_all_eight_document_classes_present(self):
+        assert DOCUMENT_CLASSES == (
+            "article", "inproceedings", "proceedings", "book", "incollection",
+            "phdthesis", "mastersthesis", "www",
+        )
+
+    def test_all_22_dtd_attributes_present(self):
+        assert len(ATTRIBUTES) == 22
+
+    def test_table1_selected_values(self):
+        # Spot-check the values printed in Table I of the paper.
+        assert attribute_probability("author", "article") == pytest.approx(0.9895)
+        assert attribute_probability("cite", "inproceedings") == pytest.approx(0.0104)
+        assert attribute_probability("editor", "proceedings") == pytest.approx(0.7992)
+        assert attribute_probability("isbn", "book") == pytest.approx(0.9294)
+        assert attribute_probability("journal", "article") == pytest.approx(0.9994)
+        assert attribute_probability("month", "article") == pytest.approx(0.0065)
+        assert attribute_probability("pages", "article") == pytest.approx(0.9261)
+        assert attribute_probability("title", "www") == pytest.approx(1.0)
+
+    def test_q3_selectivity_ordering(self):
+        # Q3a/Q3b/Q3c are built on pages >> month > isbn for articles.
+        pages = attribute_probability("pages", "article")
+        month = attribute_probability("month", "article")
+        isbn = attribute_probability("isbn", "article")
+        assert pages > month > isbn
+        assert isbn == 0.0
+
+    def test_every_class_always_has_title(self):
+        for document_class in DOCUMENT_CLASSES:
+            assert attribute_probability("title", document_class) == pytest.approx(1.0)
+
+    def test_probabilities_are_valid(self):
+        for attribute in ATTRIBUTES:
+            for document_class in DOCUMENT_CLASSES:
+                probability = attribute_probability(attribute, document_class)
+                assert 0.0 <= probability <= 1.0
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(KeyError):
+            attribute_probability("nosuch", "article")
+
+    def test_unknown_class_raises(self):
+        with pytest.raises(KeyError):
+            attribute_probability("author", "nosuch")
+
+    def test_class_probabilities_view(self):
+        probabilities = class_probabilities("article")
+        assert probabilities["pages"] == pytest.approx(0.9261)
+        assert set(probabilities) == set(ATTRIBUTES)
+
+    def test_probability_table_subsets(self):
+        table = probability_table(attributes=("author", "cite"), classes=("article",))
+        assert set(table) == {"author", "cite"}
+        assert set(table["author"]) == {"article"}
+
+
+class TestSampling:
+    def test_forced_attributes_always_present(self):
+        rng = random.Random(0)
+        sampled = sample_attributes("article", rng, forced=("title", "year"))
+        assert {"title", "year"} <= sampled
+
+    def test_excluded_attributes_never_present(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            sampled = sample_attributes("article", rng, excluded=("author", "cite"))
+            assert "author" not in sampled and "cite" not in sampled
+
+    def test_zero_probability_attributes_never_sampled(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            assert "isbn" not in sample_attributes("article", rng)
+
+    def test_certain_attributes_always_sampled(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            assert "title" in sample_attributes("inproceedings", rng)
+
+    def test_sampling_frequency_tracks_probability(self):
+        rng = random.Random(7)
+        runs = 2000
+        hits = sum("pages" in sample_attributes("article", rng) for _ in range(runs))
+        assert hits / runs == pytest.approx(0.9261, abs=0.03)
+
+    def test_sampling_is_deterministic_for_seeded_rng(self):
+        first = [sample_attributes("article", random.Random(5)) for _ in range(1)]
+        second = [sample_attributes("article", random.Random(5)) for _ in range(1)]
+        assert first == second

@@ -1,0 +1,117 @@
+"""Unit tests for the author population management."""
+
+import random
+
+import pytest
+
+from repro.generator import AuthorPool, GeneratorConfig, ERDOES_NAME
+
+
+@pytest.fixture
+def pool():
+    return AuthorPool(GeneratorConfig(), random.Random(11))
+
+
+class TestYearPlanning:
+    def test_begin_year_creates_persons(self, pool):
+        year_pool = pool.begin_year(1980, documents_with_authors=50)
+        assert year_pool
+        assert pool.persons
+
+    def test_later_years_reuse_existing_persons(self, pool):
+        pool.begin_year(1980, documents_with_authors=60)
+        first_population = len(pool.persons)
+        pool.begin_year(1981, documents_with_authors=60)
+        returning = [p for p in pool._year_pool if p.first_year == 1980]
+        assert returning, "some 1980 authors should publish again in 1981"
+        assert len(pool.persons) > first_population
+
+    def test_minimal_year_still_yields_a_pool(self, pool):
+        assert pool.begin_year(1950, documents_with_authors=0)
+
+    def test_yearly_statistics_recorded(self, pool):
+        pool.begin_year(1980, documents_with_authors=10)
+        assert 1980 in pool.yearly
+        assert pool.yearly[1980]["distinct_planned"] >= 1
+
+
+class TestAuthorSelection:
+    def test_select_authors_returns_distinct_persons(self, pool):
+        pool.begin_year(1990, documents_with_authors=40)
+        authors = pool.select_authors(3)
+        assert len(authors) == len(set(authors)) == 3
+
+    def test_selection_updates_publication_counts(self, pool):
+        pool.begin_year(1990, documents_with_authors=40)
+        authors = pool.select_authors(2)
+        assert all(author.publication_count == 1 for author in authors)
+
+    def test_selection_tracks_coauthors(self, pool):
+        pool.begin_year(1990, documents_with_authors=40)
+        authors = pool.select_authors(3)
+        for author in authors:
+            assert len(author.coauthor_names) == 2
+
+    def test_include_erdoes_puts_erdoes_first(self, pool):
+        pool.begin_year(1990, documents_with_authors=40)
+        authors = pool.select_authors(2, include_erdoes=True)
+        assert authors[0] is pool.erdoes
+        assert pool.erdoes.publication_count == 1
+
+    def test_author_count_for_increases_over_years(self, pool):
+        rng_counts_early = [
+            AuthorPool(GeneratorConfig(), random.Random(5)).author_count_for(1965)
+            for _ in range(1)
+        ]
+        assert min(rng_counts_early) >= 1
+
+    def test_repeated_selection_builds_skewed_counts(self, pool):
+        # Preferential attachment: publication counts end up long-tailed —
+        # many authors with few publications, few authors with many
+        # (the Figure 2c shape).
+        pool.begin_year(1995, documents_with_authors=200)
+        for _ in range(150):
+            pool.select_authors(2)
+        counts = sorted(p.publication_count for p in pool.persons if p.publication_count)
+        mean = sum(counts) / len(counts)
+        assert counts[-1] >= 2 * mean, "top author should publish far above the average"
+        assert counts[0] == 1, "some authors should have a single publication"
+
+
+class TestEditors:
+    def test_select_editors_distinct(self, pool):
+        pool.begin_year(1990, documents_with_authors=40)
+        pool.select_authors(5)
+        editors = pool.select_editors(2)
+        assert len(editors) == len(set(editors)) == 2
+        assert all(editor.editor_count == 1 for editor in editors)
+
+    def test_erdoes_as_editor(self, pool):
+        pool.begin_year(1990, documents_with_authors=10)
+        editors = pool.select_editors(2, include_erdoes=True)
+        assert editors[0] is pool.erdoes
+        assert pool.erdoes.editor_count == 1
+
+
+class TestStatistics:
+    def test_total_author_slots_counts_assignments(self, pool):
+        pool.begin_year(1990, documents_with_authors=20)
+        pool.select_authors(3)
+        pool.select_authors(2)
+        assert pool.total_author_slots() == 5
+
+    def test_distinct_author_count(self, pool):
+        pool.begin_year(1990, documents_with_authors=20)
+        pool.select_authors(4)
+        assert pool.distinct_author_count() == 4
+
+    def test_publication_histogram(self, pool):
+        pool.begin_year(1990, documents_with_authors=20)
+        pool.select_authors(2)
+        histogram = pool.publication_histogram()
+        assert histogram.get(1, 0) >= 2
+
+    def test_erdoes_identity(self, pool):
+        assert pool.erdoes.name == ERDOES_NAME
+        assert pool.erdoes.is_erdoes
+        assert pool.erdoes.node_label == "Paul_Erdoes"

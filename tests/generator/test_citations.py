@@ -1,0 +1,95 @@
+"""Unit tests for citation assignment."""
+
+import random
+
+import pytest
+
+from repro.generator import CitationManager, Document
+
+
+def make_document(index, document_class="article"):
+    return Document(
+        key=f"{document_class}/1990/{index}",
+        document_class=document_class,
+        year=1990,
+        title=f"Paper {index}",
+    )
+
+
+@pytest.fixture
+def manager():
+    return CitationManager(random.Random(3))
+
+
+class TestRegistration:
+    def test_publications_registered(self, manager):
+        manager.register(make_document(1))
+        assert len(manager) == 1
+
+    def test_proceedings_not_registered(self, manager):
+        manager.register(make_document(1, document_class="proceedings"))
+        assert len(manager) == 0
+
+
+class TestAssignment:
+    def test_assign_returns_requested_count(self, manager):
+        for index in range(20):
+            manager.register(make_document(index))
+        citing = make_document(99)
+        citations = manager.assign(citing, count=5)
+        assert len(citations) == 5
+        assert citing.citations == citations
+
+    def test_untargeted_citations_when_no_targets_exist(self, manager):
+        citing = make_document(1)
+        citations = manager.assign(citing, count=3)
+        assert citations == [None, None, None]
+
+    def test_no_self_citation(self, manager):
+        document = make_document(1)
+        manager.register(document)
+        citations = manager.assign(document, count=10)
+        assert all(target is not document for target in citations)
+
+    def test_no_duplicate_targets(self, manager):
+        for index in range(30):
+            manager.register(make_document(index))
+        citations = manager.assign(make_document(99), count=15)
+        targets = [target for target in citations if target is not None]
+        assert len(targets) == len(set(id(t) for t in targets))
+
+    def test_targets_gain_incoming_citations(self, manager):
+        target = make_document(1)
+        manager.register(target)
+        manager._untargeted_fraction = 0.0
+        manager.assign(make_document(2), count=1)
+        assert target.incoming_citations == 1
+
+    def test_untargeted_fraction_zero_targets_everything(self):
+        manager = CitationManager(random.Random(3), untargeted_fraction=0.0)
+        for index in range(40):
+            manager.register(make_document(index))
+        citations = manager.assign(make_document(99), count=10)
+        assert all(target is not None for target in citations)
+
+    def test_outgoing_count_from_gaussian(self, manager):
+        counts = [manager.outgoing_count() for _ in range(300)]
+        assert min(counts) >= 1
+        assert 10 < sum(counts) / len(counts) < 25
+
+
+class TestIncomingDistribution:
+    def test_incoming_histogram_shape_is_skewed(self):
+        # With preferential attachment most documents end up uncited while a
+        # few accumulate many incoming citations (the Section III-D power law).
+        manager = CitationManager(random.Random(5), untargeted_fraction=0.0)
+        documents = [make_document(index) for index in range(100)]
+        for document in documents:
+            manager.register(document)
+        for index in range(60):
+            manager.assign(make_document(1000 + index), count=5)
+        histogram = manager.incoming_histogram()
+        uncited_or_rare = sum(count for incoming, count in histogram.items() if incoming <= 2)
+        heavily_cited = [incoming for incoming in histogram if incoming >= 8]
+        assert uncited_or_rare > 50
+        assert heavily_cited, "preferential attachment should create citation hubs"

@@ -1,0 +1,143 @@
+"""Unit tests for the fitted distribution families (Section III constants)."""
+
+import math
+import random
+
+import pytest
+
+from repro.generator import distributions as d
+
+
+class TestGaussian:
+    def test_peak_at_mu(self):
+        curve = d.Gaussian(10.0, 2.0)
+        assert curve.probability(10.0) > curve.probability(8.0) > curve.probability(5.0)
+
+    def test_symmetric_around_mu(self):
+        curve = d.Gaussian(10.0, 2.0)
+        assert curve.probability(8.0) == pytest.approx(curve.probability(12.0))
+
+    def test_density_integrates_to_one(self):
+        curve = d.Gaussian(0.0, 1.0)
+        total = sum(curve.probability(x / 100.0) for x in range(-600, 601)) / 100.0
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            d.Gaussian(1.0, 0.0)
+
+    def test_sample_count_respects_minimum(self):
+        rng = random.Random(1)
+        curve = d.Gaussian(2.0, 5.0)
+        samples = [curve.sample_count(rng, minimum=1) for _ in range(200)]
+        assert min(samples) >= 1
+
+    def test_sample_count_respects_maximum(self):
+        rng = random.Random(1)
+        curve = d.Gaussian(10.0, 5.0)
+        samples = [curve.sample_count(rng, minimum=1, maximum=12) for _ in range(200)]
+        assert max(samples) <= 12
+
+    def test_sample_mean_tracks_mu(self):
+        rng = random.Random(42)
+        curve = d.Gaussian(16.82, 10.07)
+        samples = [curve.sample_count(rng, minimum=1) for _ in range(3000)]
+        assert sum(samples) / len(samples) == pytest.approx(16.82, abs=2.0)
+
+
+class TestLogistic:
+    def test_monotonically_increasing(self):
+        curve = d.Logistic(100.0, 50.0, 0.1, x0=1950)
+        values = [curve.value(year) for year in range(1950, 2010, 10)]
+        assert values == sorted(values)
+
+    def test_upper_asymptote(self):
+        curve = d.Logistic(100.0, 50.0, 0.1, x0=1950)
+        assert curve.value(3000) == pytest.approx(100.0, rel=1e-6)
+
+    def test_lower_asymptote(self):
+        curve = d.Logistic(100.0, 50.0, 0.1, x0=1950)
+        assert curve.value(1000) == pytest.approx(0.0, abs=1e-6)
+
+    def test_callable(self):
+        curve = d.Logistic(1.0, 1.0, 1.0)
+        assert curve(0) == curve.value(0)
+
+
+class TestPowerLaw:
+    def test_decreasing_for_negative_exponent(self):
+        curve = d.PowerLaw(100.0, -2.0)
+        assert curve.value(1) > curve.value(2) > curve.value(10)
+
+    def test_offset_applied(self):
+        assert d.PowerLaw(1.0, -1.0, b=5.0).value(1) == pytest.approx(6.0)
+
+    def test_nonpositive_x_rejected(self):
+        with pytest.raises(ValueError):
+            d.PowerLaw(1.0, -1.0).value(0)
+
+
+class TestPaperConstants:
+    def test_journal_growth_1950_is_small(self):
+        # f_journal(1950) = 740.43 / (1 + 426.28) ~ 1.7
+        assert d.JOURNAL_GROWTH.value(1950) == pytest.approx(1.73, abs=0.1)
+
+    def test_journal_growth_upper_asymptote(self):
+        assert d.JOURNAL_GROWTH.value(2200) == pytest.approx(740.43, rel=1e-3)
+
+    def test_article_growth_dominates_journal_growth(self):
+        for year in (1970, 1990, 2005):
+            assert d.ARTICLE_GROWTH.value(year) > d.JOURNAL_GROWTH.value(year)
+
+    def test_inproceedings_to_proceedings_ratio_roughly_50_to_60(self):
+        # Section III-B: "there are always about 50-60 times more
+        # inproceedings than proceedings".
+        for year in (1990, 2000, 2005):
+            ratio = d.INPROCEEDINGS_GROWTH.value(year) / d.PROCEEDINGS_GROWTH.value(year)
+            assert 40 <= ratio <= 70
+
+    def test_author_count_mean_increases_over_years(self):
+        assert (d.expected_authors_per_paper(2005)
+                > d.expected_authors_per_paper(1985)
+                > d.expected_authors_per_paper(1965))
+
+    def test_author_count_mean_bounds(self):
+        # mu_auth ranges between 1.05 (early) and 3.10 (asymptote).
+        assert d.expected_authors_per_paper(1900) == pytest.approx(1.05, abs=0.1)
+        assert d.expected_authors_per_paper(2200) == pytest.approx(3.10, abs=0.1)
+
+    def test_citation_distribution_parameters(self):
+        assert d.CITATION_COUNT.mu == pytest.approx(16.82)
+        assert d.CITATION_COUNT.sigma == pytest.approx(10.07)
+
+    def test_editor_distribution_parameters(self):
+        assert d.EDITOR_COUNT.mu == pytest.approx(2.15)
+        assert d.EDITOR_COUNT.sigma == pytest.approx(1.18)
+
+    def test_distinct_author_fraction_decreases_over_time(self):
+        assert d.distinct_author_fraction(1960) > d.distinct_author_fraction(2005)
+
+    def test_distinct_author_fraction_limits(self):
+        # From 0.84 down to 0.84 - 0.67 = 0.17 (Section III-C).
+        assert d.distinct_author_fraction(1900) == pytest.approx(0.84, abs=0.02)
+        assert d.distinct_author_fraction(2300) == pytest.approx(0.17, abs=0.02)
+
+    def test_new_author_fraction_within_unit_interval(self):
+        for year in range(1940, 2020, 10):
+            assert 0.0 < d.new_author_fraction(year) <= 1.0
+
+    def test_publication_exponent_range(self):
+        # f'awp drifts from ~3.08 towards ~2.48.
+        assert d.publication_count_exponent(1940) == pytest.approx(3.08, abs=0.05)
+        assert d.publication_count_exponent(2300) == pytest.approx(2.48, abs=0.05)
+
+    def test_authors_with_publications_decreasing_in_x(self):
+        values = [d.authors_with_publications(x, 1995, 100000) for x in (1, 2, 5, 10)]
+        assert values == sorted(values, reverse=True)
+
+    def test_coauthor_expectations(self):
+        assert d.expected_total_coauthors(10) == pytest.approx(21.2)
+        assert d.expected_distinct_coauthors(10) == pytest.approx(10 ** 0.81)
+
+    def test_random_class_limits_match_paper(self):
+        assert d.RANDOM_CLASS_LIMITS == {"phdthesis": 20, "mastersthesis": 10, "www": 10}

@@ -1,0 +1,90 @@
+"""Unit tests for the document model and per-year class counts."""
+
+import random
+
+from repro.generator import Document, Journal, class_counts_for_year
+from repro.generator.documents import expected_documents
+
+
+class TestJournal:
+    def test_title_format_matches_paper(self):
+        journal = Journal(number=1, year=1940)
+        assert journal.title == "Journal 1 (1940)"
+
+    def test_key_contains_number_and_year(self):
+        journal = Journal(number=3, year=1985)
+        assert "Journal3" in journal.key and "1985" in journal.key
+
+
+class TestDocument:
+    def test_proceedings_is_not_a_publication(self):
+        doc = Document(key="proceedings/1990/1", document_class="proceedings",
+                       year=1990, title="Conference 1 (1990)")
+        assert not doc.is_publication()
+
+    def test_article_is_a_publication(self):
+        doc = Document(key="article/1990/1", document_class="article",
+                       year=1990, title="A title")
+        assert doc.is_publication()
+
+    def test_default_collections_are_independent(self):
+        doc1 = Document(key="a", document_class="article", year=1990, title="t")
+        doc2 = Document(key="b", document_class="article", year=1990, title="t")
+        doc1.authors.append("someone")
+        assert doc2.authors == []
+
+
+class TestClassCounts:
+    def test_counts_grow_over_time(self):
+        rng = random.Random(0)
+        early = class_counts_for_year(1960, rng)
+        late = class_counts_for_year(2000, rng)
+        for name in ("article", "inproceedings", "proceedings", "journal"):
+            assert late[name] > early[name]
+
+    def test_journal_1940_guaranteed(self):
+        rng = random.Random(0)
+        assert class_counts_for_year(1940, rng)["journal"] >= 1
+
+    def test_articles_imply_a_journal(self):
+        rng = random.Random(0)
+        for year in (1945, 1955, 1975):
+            counts = class_counts_for_year(year, rng)
+            if counts["article"] > 0:
+                assert counts["journal"] >= 1
+
+    def test_inproceedings_imply_a_proceedings(self):
+        rng = random.Random(0)
+        for year in (1965, 1975, 1995):
+            counts = class_counts_for_year(year, rng)
+            if counts["inproceedings"] > 0:
+                assert counts["proceedings"] >= 1
+
+    def test_random_classes_absent_before_1980(self):
+        rng = random.Random(0)
+        counts = class_counts_for_year(1970, rng)
+        assert counts["phdthesis"] == 0
+        assert counts["mastersthesis"] == 0
+        assert counts["www"] == 0
+
+    def test_random_classes_bounded_after_1980(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            counts = class_counts_for_year(1995, rng)
+            assert counts["phdthesis"] <= 20
+            assert counts["mastersthesis"] <= 10
+            assert counts["www"] <= 10
+
+    def test_articles_and_inproceedings_dominate(self):
+        # Section III-B: articles and inproceedings dominate other classes.
+        rng = random.Random(0)
+        counts = class_counts_for_year(2000, rng)
+        dominant = counts["article"] + counts["inproceedings"]
+        rest = counts["book"] + counts["incollection"] + counts["phdthesis"]
+        assert dominant > 10 * rest
+
+    def test_expected_documents_excludes_journals(self):
+        rng = random.Random(0)
+        counts = class_counts_for_year(1990, random.Random(0))
+        total = expected_documents(1990, rng)
+        assert total == sum(v for k, v in counts.items() if k != "journal")

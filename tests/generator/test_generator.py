@@ -1,0 +1,203 @@
+"""Unit and invariant tests for the end-to-end data generator."""
+
+import pytest
+
+from repro.generator import DblpGenerator, GeneratorConfig
+from repro.rdf import (
+    BENCH,
+    DC,
+    DCTERMS,
+    FOAF,
+    PERSON,
+    RDF,
+    RDFS,
+    SWRC,
+    BNode,
+    Graph,
+    parse_file,
+    serialize,
+)
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = GeneratorConfig()
+        assert config.effective_triple_limit() == config.default_triple_limit
+
+    def test_triple_limit_used_when_set(self):
+        assert GeneratorConfig(triple_limit=500).effective_triple_limit() == 500
+
+    def test_end_year_disables_default_limit(self):
+        config = GeneratorConfig(end_year=1950)
+        assert config.effective_triple_limit() is None
+        assert config.last_simulated_year() == 1950
+
+    def test_invalid_triple_limit_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(triple_limit=0)
+
+    def test_end_year_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(end_year=1900)
+
+    def test_invalid_abstract_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(abstract_fraction=1.5)
+
+
+class TestDeterminismAndLimits:
+    def test_same_seed_gives_identical_output(self):
+        first = serialize(DblpGenerator(GeneratorConfig(triple_limit=1500, seed=3)).triples())
+        second = serialize(DblpGenerator(GeneratorConfig(triple_limit=1500, seed=3)).triples())
+        assert first == second
+
+    def test_different_seeds_give_different_output(self):
+        first = serialize(DblpGenerator(GeneratorConfig(triple_limit=1500, seed=3)).triples())
+        second = serialize(DblpGenerator(GeneratorConfig(triple_limit=1500, seed=4)).triples())
+        assert first != second
+
+    def test_triple_limit_respected_within_one_document(self):
+        graph = DblpGenerator(GeneratorConfig(triple_limit=2000)).graph()
+        # Generation stops after the document that crosses the limit, so the
+        # overshoot is bounded by one document's triples (well under 10%).
+        assert 2000 <= len(graph) <= 2200
+
+    def test_larger_limits_extend_smaller_ones(self):
+        # Incremental generation: a smaller document is a prefix of a larger
+        # one generated with the same seed.
+        small = list(DblpGenerator(GeneratorConfig(triple_limit=1000, seed=3)).triples())
+        large = list(DblpGenerator(GeneratorConfig(triple_limit=2000, seed=3)).triples())
+        assert large[: len(small)] == small
+
+    def test_end_year_mode_covers_requested_years(self):
+        generator = DblpGenerator(GeneratorConfig(end_year=1945))
+        graph = generator.graph()
+        assert generator.statistics.last_year == 1945
+        assert len(graph) > 100
+
+    def test_write_round_trips_through_ntriples(self, tmp_path):
+        path = tmp_path / "doc.nt"
+        generator = DblpGenerator(GeneratorConfig(triple_limit=1200, seed=5))
+        count = generator.write(path)
+        parsed = parse_file(path)
+        assert len(parsed) == count
+
+
+class TestStructuralInvariants:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        generator = DblpGenerator(GeneratorConfig(triple_limit=4000, seed=9))
+        return generator, generator.graph()
+
+    def test_schema_layer_present(self, generated):
+        _generator, graph = generated
+        subclasses = {t.subject for t in graph.triples(None, RDFS.subClassOf, FOAF.Document)}
+        assert BENCH.Article in subclasses
+        assert BENCH.Journal in subclasses
+
+    def test_journal_1_1940_exists(self, generated):
+        _generator, graph = generated
+        titles = {t.object.lexical for t in graph.triples(None, DC.title, None)}
+        assert "Journal 1 (1940)" in titles
+
+    def test_every_document_has_type_title_year(self, generated):
+        _generator, graph = generated
+        document_classes = {BENCH.Article, BENCH.Inproceedings, BENCH.Proceedings,
+                            BENCH.Book, BENCH.Incollection, BENCH.PhDThesis,
+                            BENCH.MastersThesis, BENCH.WWW}
+        for triple in graph.triples(None, RDF.type, None):
+            if triple.object not in document_classes:
+                continue
+            subject = triple.subject
+            assert graph.value(subject=subject, predicate=DC.title) is not None
+            assert graph.value(subject=subject, predicate=DCTERMS.issued) is not None
+
+    def test_part_of_targets_exist(self, generated):
+        _generator, graph = generated
+        proceedings = set(graph.subjects(predicate=RDF.type, object=BENCH.Proceedings))
+        for triple in graph.triples(None, DCTERMS.partOf, None):
+            assert triple.object in proceedings
+
+    def test_journal_links_target_existing_journals(self, generated):
+        _generator, graph = generated
+        journals = set(graph.subjects(predicate=RDF.type, object=BENCH.Journal))
+        for triple in graph.triples(None, SWRC.journal, None):
+            assert triple.object in journals
+
+    def test_creators_are_typed_persons_with_names(self, generated):
+        _generator, graph = generated
+        persons = set(graph.subjects(predicate=RDF.type, object=FOAF.Person))
+        named = set(graph.subjects(predicate=FOAF.name))
+        for triple in graph.triples(None, DC.creator, None):
+            assert triple.object in persons
+            assert triple.object in named
+
+    def test_persons_are_blank_nodes_except_erdoes(self, generated):
+        _generator, graph = generated
+        for person in graph.subjects(predicate=RDF.type, object=FOAF.Person):
+            if person == PERSON.Paul_Erdoes:
+                continue
+            assert isinstance(person, BNode)
+
+    def test_erdoes_present_with_publications_and_editorships(self, generated):
+        _generator, graph = generated
+        as_author = list(graph.triples(None, DC.creator, PERSON.Paul_Erdoes))
+        as_editor = list(graph.triples(None, SWRC.editor, PERSON.Paul_Erdoes))
+        assert as_author, "Paul Erdoes should author publications from 1940 on"
+        assert as_editor, "Paul Erdoes should act as editor from 1940 on"
+
+    def test_reference_lists_are_rdf_bags_of_existing_documents(self, generated):
+        _generator, graph = generated
+        documents = {
+            t.subject for t in graph.triples(None, RDF.type, None)
+            if str(t.object).startswith(BENCH.base)
+        }
+        for triple in graph.triples(None, DCTERMS.references, None):
+            bag = triple.object
+            assert graph.value(subject=bag, predicate=RDF.type) == RDF.Bag
+            for member in graph.triples(subject=bag):
+                if member.predicate in (RDF.type,):
+                    continue
+                assert member.object in documents
+
+    def test_statistics_match_graph_contents(self, generated):
+        generator, graph = generated
+        stats = generator.statistics.as_dict()
+        assert stats["triples"] == len(graph)
+        articles_in_graph = sum(
+            1 for _ in graph.triples(None, RDF.type, BENCH.Article)
+        )
+        assert stats["class_totals"].get("article", 0) == articles_in_graph
+
+    def test_abstract_fraction_is_small(self, generated):
+        _generator, graph = generated
+        abstracts = sum(1 for _ in graph.triples(None, BENCH.abstract, None))
+        articles = sum(1 for _ in graph.triples(None, RDF.type, BENCH.Article))
+        inprocs = sum(1 for _ in graph.triples(None, RDF.type, BENCH.Inproceedings))
+        assert abstracts <= 0.1 * max(articles + inprocs, 1)
+
+
+class TestTableVIIIShape:
+    def test_growth_of_characteristics_with_document_size(self):
+        """Larger documents reach later years and hold more instances (Table VIII)."""
+        small_gen = DblpGenerator(GeneratorConfig(triple_limit=1000, seed=2))
+        large_gen = DblpGenerator(GeneratorConfig(triple_limit=8000, seed=2))
+        small_gen.graph(), large_gen.graph()
+        small, large = small_gen.statistics, large_gen.statistics
+        assert large.last_year > small.last_year
+        assert large.class_totals.get("article", 0) > small.class_totals.get("article", 0)
+        assert large.class_totals.get("journal", 0) >= small.class_totals.get("journal", 0)
+
+    def test_10k_document_matches_paper_scale(self):
+        """The 10k-triple document lands near the paper's Table VIII row."""
+        generator = DblpGenerator(GeneratorConfig(triple_limit=10_000))
+        generator.graph()
+        stats = generator.statistics
+        # Paper: data up to 1955, 25 journals, 916 articles, 169 inproceedings.
+        assert 1950 <= stats.last_year <= 1958
+        assert 15 <= stats.class_totals.get("journal", 0) <= 40
+        assert 500 <= stats.class_totals.get("article", 0) <= 1300
+        assert 50 <= stats.class_totals.get("inproceedings", 0) <= 400
+        # No theses or WWW documents this early (as in the paper).
+        assert stats.class_totals.get("phdthesis", 0) == 0
+        assert stats.class_totals.get("www", 0) == 0

@@ -1,0 +1,61 @@
+"""Unit tests for deterministic name/title/abstract material."""
+
+import random
+
+from repro.generator import names
+
+
+class TestPersonNames:
+    def test_person_name_is_deterministic(self):
+        assert names.person_name(42) == names.person_name(42)
+
+    def test_person_names_unique_over_large_range(self):
+        pool = {names.person_name(index) for index in range(20_000)}
+        assert len(pool) == 20_000
+
+    def test_person_name_has_first_and_last_part(self):
+        first, last = names.person_name(7).split(" ", 1)
+        assert first and last
+
+    def test_first_and_last_name_extend_beyond_base_pool(self):
+        sizes = names.pool_sizes()
+        beyond = sizes["first_names"] + 3
+        assert names.first_name(beyond) != names.first_name(beyond % sizes["first_names"])
+        assert names.last_name(sizes["last_names"] + 1).startswith(
+            names.last_name(1)
+        )
+
+
+class TestGeneratedText:
+    def test_title_word_count_in_bounds(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            words = names.title(rng, 3, 9).split()
+            assert 3 <= len(words) <= 9
+
+    def test_title_starts_capitalised(self):
+        rng = random.Random(3)
+        assert names.title(rng)[0].isupper()
+
+    def test_abstract_length_follows_gaussian_roughly(self):
+        rng = random.Random(3)
+        lengths = [len(names.abstract(rng).split()) for _ in range(100)]
+        mean = sum(lengths) / len(lengths)
+        assert 120 <= mean <= 180
+
+    def test_abstract_has_minimum_length(self):
+        rng = random.Random(3)
+        assert all(len(names.abstract(rng, 30, 50).split()) >= 20 for _ in range(30))
+
+    def test_publisher_from_fixed_pool(self):
+        rng = random.Random(3)
+        assert names.publisher(rng) in names._PUBLISHERS
+
+    def test_word_is_deterministic_for_seeded_rng(self):
+        assert names.word(random.Random(9)) == names.word(random.Random(9))
+
+    def test_pool_sizes_reported(self):
+        sizes = names.pool_sizes()
+        assert sizes["first_names"] >= 50
+        assert sizes["last_names"] >= 60
+        assert sizes["title_words"] >= 80

@@ -1,0 +1,151 @@
+"""Unit tests for the Document -> RDF triple translation."""
+
+import pytest
+
+from repro.generator import Document, Journal, Person
+from repro.generator import rdfwriter
+from repro.rdf import BENCH, DC, DCTERMS, FOAF, PERSON, RDF, RDFS, SWRC, BNode, Graph, URIRef
+
+
+def make_article():
+    journal = Journal(number=1, year=1960)
+    alice = Person(index=0, name="Alice Smith", first_year=1960)
+    erdoes = Person(index=-1, name="Paul Erdoes", is_erdoes=True, first_year=1940)
+    article = Document(
+        key="article/1960/7",
+        document_class="article",
+        year=1960,
+        title="A study of joins",
+        values={"pages": "1--10", "volume": 3, "ee": "http://e.org/1", "url": "http://u.org/1"},
+        authors=[alice, erdoes],
+        journal=journal,
+    )
+    return article, journal, alice, erdoes
+
+
+class TestSchema:
+    def test_schema_triples_cover_all_classes(self):
+        graph = Graph(rdfwriter.schema_triples())
+        subjects = {t.subject for t in graph}
+        assert BENCH.Article in subjects
+        assert BENCH.Journal in subjects
+        assert all(t.predicate == RDFS.subClassOf for t in graph)
+        assert all(t.object == FOAF.Document for t in graph)
+
+
+class TestPersons:
+    def test_regular_person_is_blank_node(self):
+        person = Person(index=1, name="Bob Jones", first_year=1970)
+        node = rdfwriter.person_node(person)
+        assert isinstance(node, BNode)
+        assert node.label == "Bob_Jones"
+
+    def test_erdoes_has_fixed_uri(self):
+        erdoes = Person(index=-1, name="Paul Erdoes", is_erdoes=True)
+        assert rdfwriter.person_node(erdoes) == PERSON.Paul_Erdoes
+
+    def test_person_triples(self):
+        person = Person(index=1, name="Bob Jones", first_year=1970)
+        graph = Graph(rdfwriter.person_triples(person))
+        node = rdfwriter.person_node(person)
+        assert graph.value(subject=node, predicate=FOAF.name).lexical == "Bob Jones"
+        assert (node, RDF.type, FOAF.Person) in [t.as_tuple() for t in graph]
+
+
+class TestJournals:
+    def test_journal_triples(self):
+        journal = Journal(number=1, year=1940)
+        graph = Graph(rdfwriter.journal_triples(journal))
+        uri = rdfwriter.journal_uri(journal)
+        assert graph.value(subject=uri, predicate=DC.title).lexical == "Journal 1 (1940)"
+        assert graph.value(subject=uri, predicate=DCTERMS.issued).to_python() == 1940
+
+
+class TestDocuments:
+    def test_article_core_triples(self):
+        article, journal, _alice, _erdoes = make_article()
+        graph = Graph(rdfwriter.document_triples(article))
+        uri = rdfwriter.document_uri(article)
+        assert graph.value(subject=uri, predicate=RDF.type) == BENCH.Article
+        assert graph.value(subject=uri, predicate=DC.title).lexical == "A study of joins"
+        assert graph.value(subject=uri, predicate=DCTERMS.issued).to_python() == 1960
+        assert graph.value(subject=uri, predicate=SWRC.journal) == rdfwriter.journal_uri(journal)
+
+    def test_scalar_attribute_mapping(self):
+        article, *_rest = make_article()
+        graph = Graph(rdfwriter.document_triples(article))
+        uri = rdfwriter.document_uri(article)
+        assert graph.value(subject=uri, predicate=SWRC.pages).lexical == "1--10"
+        assert graph.value(subject=uri, predicate=SWRC.volume).to_python() == 3
+        assert graph.value(subject=uri, predicate=RDFS.seeAlso) is not None
+        assert graph.value(subject=uri, predicate=FOAF.homepage) is not None
+
+    def test_authors_emitted_with_creator_edges(self):
+        article, _journal, alice, erdoes = make_article()
+        graph = Graph(rdfwriter.document_triples(article))
+        uri = rdfwriter.document_uri(article)
+        creators = set(graph.objects(subject=uri, predicate=DC.creator))
+        assert creators == {rdfwriter.person_node(alice), rdfwriter.person_node(erdoes)}
+
+    def test_person_triples_emitted_once_when_tracking_set_used(self):
+        article, *_rest = make_article()
+        emitted = set()
+        first = list(rdfwriter.document_triples(article, emitted))
+        second = list(rdfwriter.document_triples(article, emitted))
+        first_person_types = [t for t in first if t.predicate == RDF.type and t.object == FOAF.Person]
+        second_person_types = [t for t in second if t.predicate == RDF.type and t.object == FOAF.Person]
+        assert len(first_person_types) == 2
+        assert len(second_person_types) == 0
+
+    def test_inproceedings_part_of_link(self):
+        proceedings = Document(key="proceedings/1960/1", document_class="proceedings",
+                               year=1960, title="Conference 1 (1960)")
+        inproc = Document(key="inproceedings/1960/2", document_class="inproceedings",
+                          year=1960, title="Some paper", part_of=proceedings)
+        graph = Graph(rdfwriter.document_triples(inproc))
+        uri = rdfwriter.document_uri(inproc)
+        assert graph.value(subject=uri, predicate=DCTERMS.partOf) == rdfwriter.document_uri(proceedings)
+
+    def test_citation_bag_structure(self):
+        target1 = Document(key="article/1950/1", document_class="article",
+                           year=1950, title="Old paper")
+        target2 = Document(key="article/1955/2", document_class="article",
+                           year=1955, title="Older paper")
+        citing = Document(key="article/1960/3", document_class="article",
+                          year=1960, title="New paper",
+                          citations=[target1, None, target2])
+        graph = Graph(rdfwriter.document_triples(citing))
+        uri = rdfwriter.document_uri(citing)
+        bag = graph.value(subject=uri, predicate=DCTERMS.references)
+        assert isinstance(bag, BNode)
+        assert graph.value(subject=bag, predicate=RDF.type) == RDF.Bag
+        members = {
+            t.object for t in graph.triples(subject=bag)
+            if str(t.predicate).split("#_")[-1].isdigit()
+        }
+        assert members == {rdfwriter.document_uri(target1), rdfwriter.document_uri(target2)}
+
+    def test_untargeted_only_citations_produce_no_bag(self):
+        citing = Document(key="article/1960/3", document_class="article",
+                          year=1960, title="New paper", citations=[None, None])
+        graph = Graph(rdfwriter.document_triples(citing))
+        assert graph.value(subject=rdfwriter.document_uri(citing),
+                           predicate=DCTERMS.references) is None
+
+    def test_abstract_emitted_when_present(self):
+        article, *_rest = make_article()
+        article.abstract = "words " * 100
+        graph = Graph(rdfwriter.document_triples(article))
+        assert graph.value(subject=rdfwriter.document_uri(article),
+                           predicate=BENCH.abstract) is not None
+
+    def test_document_uri_is_stable(self):
+        article, *_rest = make_article()
+        assert rdfwriter.document_uri(article) == rdfwriter.document_uri(article)
+        assert isinstance(rdfwriter.document_uri(article), URIRef)
+
+    def test_literal_factories(self):
+        assert rdfwriter.string_literal("x").datatype.endswith("string")
+        assert rdfwriter.integer_literal(5).to_python() == 5
+        with pytest.raises(ValueError):
+            rdfwriter.integer_literal("not a number")

@@ -1,0 +1,43 @@
+"""Property-based tests for the data generator's contract."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.generator import DblpGenerator, GeneratorConfig
+from repro.rdf import serialize
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+limits = st.integers(min_value=300, max_value=1500)
+
+
+class TestDeterminism:
+    @given(seeds, limits)
+    @settings(max_examples=10, deadline=None)
+    def test_same_configuration_gives_identical_documents(self, seed, limit):
+        config = GeneratorConfig(triple_limit=limit, seed=seed)
+        first = serialize(DblpGenerator(config).triples())
+        second = serialize(DblpGenerator(config).triples())
+        assert first == second
+
+    @given(seeds, limits)
+    @settings(max_examples=10, deadline=None)
+    def test_triple_limit_is_respected_with_bounded_overshoot(self, seed, limit):
+        generator = DblpGenerator(GeneratorConfig(triple_limit=limit, seed=seed))
+        count = sum(1 for _ in generator.triples())
+        assert count >= limit
+        # Overshoot is bounded by the triples of the document that crossed
+        # the limit (authors + attributes), which stays small.
+        assert count <= limit + 250
+
+    @given(seeds, limits)
+    @settings(max_examples=8, deadline=None)
+    def test_statistics_triple_count_matches_stream(self, seed, limit):
+        generator = DblpGenerator(GeneratorConfig(triple_limit=limit, seed=seed))
+        count = sum(1 for _ in generator.triples())
+        assert generator.statistics.triples_written == count
+
+    @given(seeds)
+    @settings(max_examples=6, deadline=None)
+    def test_prefix_property_of_incremental_generation(self, seed):
+        small = list(DblpGenerator(GeneratorConfig(triple_limit=400, seed=seed)).triples())
+        large = list(DblpGenerator(GeneratorConfig(triple_limit=900, seed=seed)).triples())
+        assert large[: len(small)] == small

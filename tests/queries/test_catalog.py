@@ -1,0 +1,102 @@
+"""Unit tests for the benchmark query catalog (Table II metadata)."""
+
+import pytest
+
+from repro.queries import ALL_QUERIES, ask_queries, get_query, select_queries
+from repro.sparql import parse_query
+
+
+class TestCatalogStructure:
+    def test_seventeen_queries(self):
+        assert len(ALL_QUERIES) == 17
+
+    def test_identifiers_match_the_paper(self):
+        identifiers = [query.identifier for query in ALL_QUERIES]
+        assert identifiers == [
+            "Q1", "Q2", "Q3a", "Q3b", "Q3c", "Q4", "Q5a", "Q5b", "Q6", "Q7",
+            "Q8", "Q9", "Q10", "Q11", "Q12a", "Q12b", "Q12c",
+        ]
+
+    def test_fourteen_select_and_three_ask(self):
+        assert len(select_queries()) == 14
+        assert len(ask_queries()) == 3
+
+    def test_get_query_case_insensitive(self):
+        assert get_query("q3A").identifier == "Q3a"
+        assert get_query("Q12c").form == "ASK"
+
+    def test_get_query_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_query("Q99")
+
+    def test_every_query_has_description(self):
+        assert all(query.description for query in ALL_QUERIES)
+
+
+class TestTable2Metadata:
+    def test_q1_uses_and_only(self):
+        assert get_query("Q1").operators == ("AND",)
+
+    def test_q2_has_optional_and_order_by(self):
+        q2 = get_query("Q2")
+        assert "OPTIONAL" in q2.operators
+        assert "ORDER BY" in q2.modifiers
+
+    def test_q4_and_q5a_have_distinct(self):
+        assert "DISTINCT" in get_query("Q4").modifiers
+        assert "DISTINCT" in get_query("Q5a").modifiers
+
+    def test_q6_q7_use_optional_and_filter(self):
+        for identifier in ("Q6", "Q7"):
+            query = get_query(identifier)
+            assert "OPTIONAL" in query.operators
+            assert "FILTER" in query.operators
+
+    def test_q8_q9_use_union(self):
+        assert "UNION" in get_query("Q8").operators
+        assert "UNION" in get_query("Q9").operators
+
+    def test_q11_has_all_three_modifiers(self):
+        assert set(get_query("Q11").modifiers) == {"ORDER BY", "LIMIT", "OFFSET"}
+
+    def test_filter_pushing_flags_match_table2(self):
+        # Table II row 4 marks Q3abc, Q5a, Q6, Q7, Q8 (and the ASK variants).
+        flagged = {q.identifier for q in ALL_QUERIES if q.filter_pushing}
+        assert {"Q3a", "Q3b", "Q3c", "Q5a", "Q6", "Q7", "Q8"} <= flagged
+        assert "Q1" not in flagged and "Q10" not in flagged
+
+    def test_pattern_reuse_flags_match_table2(self):
+        # Table II row 5 marks Q4, Q6, Q7, Q8 (and Q12b).
+        flagged = {q.identifier for q in ALL_QUERIES if q.pattern_reuse}
+        assert {"Q4", "Q6", "Q7", "Q8"} <= flagged
+
+    def test_q7_accesses_containers(self):
+        assert "containers" in get_query("Q7").data_access
+
+    def test_q2_accesses_large_literals(self):
+        assert "large literals" in get_query("Q2").data_access
+
+    def test_ask_queries_mirror_select_counterparts(self):
+        assert get_query("Q12a").operators == get_query("Q5a").operators
+        assert get_query("Q12b").operators == get_query("Q8").operators
+
+
+class TestQueryTexts:
+    @pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.identifier)
+    def test_text_parses_and_form_matches(self, query):
+        parsed = parse_query(query.text)
+        assert parsed.form == query.form
+
+    def test_q1_mentions_fixed_journal_title(self):
+        assert 'Journal 1 (1940)' in get_query("Q1").text
+
+    def test_q8_and_q12b_mention_erdoes(self):
+        assert "Paul Erdoes" in get_query("Q8").text
+        assert "Paul Erdoes" in get_query("Q12b").text
+
+    def test_q12c_asks_for_john_q_public(self):
+        assert "John_Q_Public" in get_query("Q12c").text
+
+    def test_q11_limit_and_offset_values(self):
+        text = get_query("Q11").text
+        assert "LIMIT 10" in text and "OFFSET 50" in text

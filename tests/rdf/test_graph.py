@@ -1,0 +1,155 @@
+"""Unit tests for the Graph container."""
+
+import pytest
+
+from repro.rdf import BNode, Graph, Literal, TermError, Triple, URIRef, Variable
+
+EX = "http://example.org/"
+
+
+def uri(local):
+    return URIRef(EX + local)
+
+
+def make_graph():
+    g = Graph()
+    g.add(Triple(uri("a"), uri("p"), uri("b")))
+    g.add(Triple(uri("a"), uri("p"), uri("c")))
+    g.add(Triple(uri("b"), uri("q"), Literal("x")))
+    g.add(Triple(BNode("n"), uri("q"), Literal("y")))
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_for_new_triple(self):
+        g = Graph()
+        assert g.add(Triple(uri("a"), uri("p"), uri("b"))) is True
+
+    def test_add_duplicate_returns_false_and_keeps_length(self):
+        g = Graph()
+        t = Triple(uri("a"), uri("p"), uri("b"))
+        g.add(t)
+        assert g.add(t) is False
+        assert len(g) == 1
+
+    def test_add_three_terms_form(self):
+        g = Graph()
+        g.add(uri("a"), uri("p"), Literal("v"))
+        assert len(g) == 1
+
+    def test_add_non_ground_triple_rejected(self):
+        g = Graph()
+        with pytest.raises(TermError):
+            g.add(Triple(uri("a"), uri("p"), Variable("x")))
+
+    def test_discard_removes_triple(self):
+        g = make_graph()
+        assert g.discard(Triple(uri("a"), uri("p"), uri("b"))) is True
+        assert len(g) == 3
+
+    def test_discard_missing_returns_false(self):
+        g = make_graph()
+        assert g.discard(Triple(uri("z"), uri("p"), uri("b"))) is False
+
+    def test_update_adds_iterable(self):
+        g = Graph()
+        g.update([Triple(uri("a"), uri("p"), uri("b")), Triple(uri("a"), uri("p"), uri("c"))])
+        assert len(g) == 2
+
+    def test_constructor_accepts_triples(self):
+        g = Graph([Triple(uri("a"), uri("p"), uri("b"))])
+        assert len(g) == 1
+
+
+class TestQueries:
+    def test_triples_wildcard_all(self):
+        assert len(list(make_graph().triples())) == 4
+
+    def test_triples_by_subject(self):
+        matches = list(make_graph().triples(subject=uri("a")))
+        assert len(matches) == 2
+
+    def test_triples_by_predicate_and_object(self):
+        matches = list(make_graph().triples(predicate=uri("q"), object=Literal("x")))
+        assert len(matches) == 1
+        assert matches[0].subject == uri("b")
+
+    def test_triples_no_match(self):
+        assert list(make_graph().triples(subject=uri("zzz"))) == []
+
+    def test_subjects_deduplicated(self):
+        assert list(make_graph().subjects(predicate=uri("p"))) == [uri("a")]
+
+    def test_objects(self):
+        objects = set(make_graph().objects(subject=uri("a"), predicate=uri("p")))
+        assert objects == {uri("b"), uri("c")}
+
+    def test_predicates(self):
+        predicates = set(make_graph().predicates())
+        assert predicates == {uri("p"), uri("q")}
+
+    def test_value_returns_first_match(self):
+        assert make_graph().value(subject=uri("b"), predicate=uri("q")) == Literal("x")
+
+    def test_value_returns_none_when_absent(self):
+        assert make_graph().value(subject=uri("zzz"), predicate=uri("q")) is None
+
+    def test_value_requires_exactly_one_wildcard(self):
+        with pytest.raises(ValueError):
+            make_graph().value(subject=uri("a"))
+
+    def test_contains(self):
+        g = make_graph()
+        assert Triple(uri("a"), uri("p"), uri("b")) in g
+        assert Triple(uri("a"), uri("p"), uri("zzz")) not in g
+
+    def test_iteration_preserves_insertion_order(self):
+        g = make_graph()
+        assert list(g)[0] == Triple(uri("a"), uri("p"), uri("b"))
+
+    def test_bool(self):
+        assert not Graph()
+        assert make_graph()
+
+
+class TestSetOperations:
+    def test_union(self):
+        g1 = Graph([Triple(uri("a"), uri("p"), uri("b"))])
+        g2 = Graph([Triple(uri("a"), uri("p"), uri("c"))])
+        assert len(g1.union(g2)) == 2
+
+    def test_union_deduplicates(self):
+        g1 = Graph([Triple(uri("a"), uri("p"), uri("b"))])
+        g2 = Graph([Triple(uri("a"), uri("p"), uri("b"))])
+        assert len(g1.union(g2)) == 1
+
+    def test_intersection(self):
+        g1 = make_graph()
+        g2 = Graph([Triple(uri("a"), uri("p"), uri("b"))])
+        assert len(g1.intersection(g2)) == 1
+
+    def test_difference(self):
+        g1 = make_graph()
+        g2 = Graph([Triple(uri("a"), uri("p"), uri("b"))])
+        assert len(g1.difference(g2)) == 3
+
+    def test_equality_ignores_order(self):
+        t1 = Triple(uri("a"), uri("p"), uri("b"))
+        t2 = Triple(uri("a"), uri("p"), uri("c"))
+        assert Graph([t1, t2]) == Graph([t2, t1])
+
+
+class TestStatisticsHelpers:
+    def test_subject_count(self):
+        assert make_graph().subject_count() == 3
+
+    def test_predicate_histogram(self):
+        histogram = make_graph().predicate_histogram()
+        assert histogram[uri("p")] == 2
+        assert histogram[uri("q")] == 2
+
+    def test_node_kinds(self):
+        kinds = make_graph().node_kinds()
+        assert kinds["bnode"] == 1
+        assert kinds["literal"] == 2
+        assert kinds["uri"] == 4 * 3 - 1 - 2

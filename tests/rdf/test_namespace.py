@@ -1,0 +1,95 @@
+"""Unit tests for namespace handling and the SP2Bench vocabulary."""
+
+import pytest
+
+from repro.rdf import (
+    BENCH,
+    DC,
+    DCTERMS,
+    DEFAULT_PREFIXES,
+    FOAF,
+    PERSON,
+    RDF,
+    RDFS,
+    SWRC,
+    XSD,
+    Namespace,
+    URIRef,
+    expand_qname,
+    qname_for,
+)
+
+
+class TestNamespace:
+    def test_attribute_access_builds_uri(self):
+        ns = Namespace("http://example.org/ns#")
+        assert ns.thing == URIRef("http://example.org/ns#thing")
+
+    def test_item_access_builds_uri(self):
+        ns = Namespace("http://example.org/ns#")
+        assert ns["other"] == URIRef("http://example.org/ns#other")
+
+    def test_term_method(self):
+        ns = Namespace("http://example.org/ns#")
+        assert ns.term("a") == URIRef("http://example.org/ns#a")
+
+    def test_contains_checks_prefix(self):
+        ns = Namespace("http://example.org/ns#")
+        assert ns.thing in ns
+        assert URIRef("http://elsewhere.org/x") not in ns
+
+    def test_equality_and_hash(self):
+        assert Namespace("http://a/") == Namespace("http://a/")
+        assert hash(Namespace("http://a/")) == hash(Namespace("http://a/"))
+
+    def test_underscore_attribute_raises(self):
+        ns = Namespace("http://example.org/ns#")
+        with pytest.raises(AttributeError):
+            ns._private
+
+
+class TestFixedVocabulary:
+    def test_rdf_type_uri(self):
+        assert RDF.type.value == "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+    def test_rdfs_subclassof_uri(self):
+        assert RDFS.subClassOf.value == "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+
+    def test_foaf_and_dc_uris(self):
+        assert FOAF.name.value.endswith("foaf/0.1/name")
+        assert DC.creator.value == "http://purl.org/dc/elements/1.1/creator"
+        assert DCTERMS.issued.value == "http://purl.org/dc/terms/issued"
+
+    def test_swrc_and_bench_namespaces_distinct(self):
+        assert SWRC.pages != BENCH.pages
+
+    def test_person_namespace_holds_erdoes(self):
+        assert "Paul_Erdoes" in PERSON.Paul_Erdoes.value
+
+    def test_default_prefix_table_covers_query_prologue(self):
+        for prefix in ("rdf", "rdfs", "xsd", "foaf", "dc", "dcterms", "swrc",
+                       "bench", "person"):
+            assert prefix in DEFAULT_PREFIXES
+
+
+class TestQNameHelpers:
+    def test_expand_qname_with_default_prefixes(self):
+        assert expand_qname("dc:title") == DC.title
+
+    def test_expand_qname_with_custom_table(self):
+        table = {"ex": Namespace("http://example.org/")}
+        assert expand_qname("ex:a", table) == URIRef("http://example.org/a")
+
+    def test_expand_unknown_prefix_raises(self):
+        with pytest.raises(KeyError):
+            expand_qname("nosuch:a")
+
+    def test_qname_for_known_namespace(self):
+        assert qname_for(DC.title) == "dc:title"
+
+    def test_qname_for_prefers_longest_match(self):
+        assert qname_for(XSD.string) == "xsd:string"
+
+    def test_qname_for_unknown_namespace_returns_n3(self):
+        uri = URIRef("http://unknown.example.org/x")
+        assert qname_for(uri) == "<http://unknown.example.org/x>"

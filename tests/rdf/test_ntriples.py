@@ -1,0 +1,120 @@
+"""Unit tests for N-Triples serialization and parsing."""
+
+import io
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    Literal,
+    ParseError,
+    Triple,
+    URIRef,
+    parse,
+    parse_file,
+    parse_graph,
+    serialize,
+    write_file,
+)
+from repro.rdf.ntriples import NTriplesParser, serialize_triple
+
+EX = "http://example.org/"
+XSD_INT = "http://www.w3.org/2001/XMLSchema#integer"
+
+
+def sample_triples():
+    return [
+        Triple(URIRef(EX + "a"), URIRef(EX + "p"), URIRef(EX + "b")),
+        Triple(BNode("node1"), URIRef(EX + "p"), Literal("plain")),
+        Triple(URIRef(EX + "a"), URIRef(EX + "q"), Literal("5", datatype=XSD_INT)),
+        Triple(URIRef(EX + "a"), URIRef(EX + "r"), Literal("bonjour", language="fr")),
+        Triple(URIRef(EX + "a"), URIRef(EX + "s"), Literal('with "quotes"\nand newline')),
+    ]
+
+
+class TestSerialization:
+    def test_serialize_triple_line(self):
+        line = serialize_triple(sample_triples()[0])
+        assert line == f"<{EX}a> <{EX}p> <{EX}b> ."
+
+    def test_serialize_to_string(self):
+        text = serialize(sample_triples())
+        assert text.count("\n") == len(sample_triples())
+
+    def test_serialize_to_stream_returns_count(self):
+        buffer = io.StringIO()
+        assert serialize(sample_triples(), buffer) == len(sample_triples())
+
+    def test_write_and_parse_file_roundtrip(self, tmp_path):
+        path = tmp_path / "data.nt"
+        count = write_file(sample_triples(), path)
+        assert count == len(sample_triples())
+        graph = parse_file(path)
+        assert graph == Graph(sample_triples())
+
+
+class TestParsing:
+    def test_roundtrip_preserves_all_term_kinds(self):
+        text = serialize(sample_triples())
+        assert parse_graph(text) == Graph(sample_triples())
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = "# comment line\n\n" + serialize_triple(sample_triples()[0]) + "\n"
+        assert len(list(parse(text))) == 1
+
+    def test_typed_literal_parsed(self):
+        line = f'<{EX}a> <{EX}p> "5"^^<{XSD_INT}> .'
+        triple = next(iter(parse(line)))
+        assert triple.object == Literal("5", datatype=XSD_INT)
+
+    def test_language_literal_parsed(self):
+        line = f'<{EX}a> <{EX}p> "hi"@en .'
+        triple = next(iter(parse(line)))
+        assert triple.object.language == "en"
+
+    def test_escaped_characters_unescaped(self):
+        line = f'<{EX}a> <{EX}p> "line\\nbreak and \\"quote\\"" .'
+        triple = next(iter(parse(line)))
+        assert triple.object.lexical == 'line\nbreak and "quote"'
+
+    def test_unicode_escape(self):
+        line = f'<{EX}a> <{EX}p> "\\u00e9" .'
+        triple = next(iter(parse(line)))
+        assert triple.object.lexical == "é"
+
+    def test_blank_node_subject(self):
+        line = f'_:b1 <{EX}p> <{EX}b> .'
+        triple = next(iter(parse(line)))
+        assert triple.subject == BNode("b1")
+
+    def test_missing_terminating_dot_raises(self):
+        with pytest.raises(ParseError):
+            NTriplesParser().parse_line(f"<{EX}a> <{EX}p> <{EX}b>")
+
+    def test_unterminated_uri_raises(self):
+        with pytest.raises(ParseError):
+            NTriplesParser().parse_line(f"<{EX}a <{EX}p> <{EX}b> .")
+
+    def test_unterminated_literal_raises(self):
+        with pytest.raises(ParseError):
+            NTriplesParser().parse_line(f'<{EX}a> <{EX}p> "open .')
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ParseError):
+            NTriplesParser().parse_line(f'"x" <{EX}p> <{EX}b> .')
+
+    def test_bnode_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            NTriplesParser().parse_line(f"<{EX}a> _:p <{EX}b> .")
+
+    def test_error_reports_line_number(self):
+        text = serialize_triple(sample_triples()[0]) + "\nnot a triple\n"
+        with pytest.raises(ParseError) as excinfo:
+            list(parse(text))
+        assert "line 2" in str(excinfo.value)
+
+    def test_parse_accepts_file_object(self):
+        text = serialize(sample_triples())
+        graph = Graph(parse(io.StringIO(text)))
+        assert len(graph) == len(sample_triples())

@@ -1,0 +1,73 @@
+"""Unit tests for the Triple value object."""
+
+import pytest
+
+from repro.rdf import BNode, Literal, TermError, Triple, URIRef, Variable
+
+S = URIRef("http://example.org/s")
+P = URIRef("http://example.org/p")
+O = Literal("o")
+
+
+class TestConstruction:
+    def test_basic_triple(self):
+        triple = Triple(S, P, O)
+        assert triple.subject == S
+        assert triple.predicate == P
+        assert triple.object == O
+
+    def test_blank_node_subject_allowed(self):
+        assert Triple(BNode("b"), P, O).subject == BNode("b")
+
+    def test_variable_positions_allowed(self):
+        triple = Triple(Variable("s"), Variable("p"), Variable("o"))
+        assert not triple.is_ground()
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(TermError):
+            Triple(Literal("x"), P, O)
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(TermError):
+            Triple(S, Literal("x"), O)
+
+    def test_bnode_predicate_rejected(self):
+        with pytest.raises(TermError):
+            Triple(S, BNode("b"), O)
+
+    def test_plain_string_rejected(self):
+        with pytest.raises(TermError):
+            Triple("http://example.org/s", P, O)
+
+    def test_immutable(self):
+        triple = Triple(S, P, O)
+        with pytest.raises(AttributeError):
+            triple.subject = P
+
+
+class TestBehaviour:
+    def test_is_ground_true_for_constants(self):
+        assert Triple(S, P, O).is_ground()
+
+    def test_is_ground_false_with_any_variable(self):
+        assert not Triple(S, P, Variable("o")).is_ground()
+
+    def test_variables_returns_variable_set(self):
+        triple = Triple(Variable("s"), P, Variable("o"))
+        assert triple.variables() == {Variable("s"), Variable("o")}
+
+    def test_iteration_and_indexing(self):
+        triple = Triple(S, P, O)
+        assert list(triple) == [S, P, O]
+        assert triple[0] == S and triple[2] == O
+        assert len(triple) == 3
+
+    def test_equality_and_hash(self):
+        assert Triple(S, P, O) == Triple(S, P, O)
+        assert hash(Triple(S, P, O)) == hash(Triple(S, P, O))
+        assert Triple(S, P, O) != Triple(S, P, Literal("other"))
+
+    def test_n3_line(self):
+        line = Triple(S, P, O).n3()
+        assert line.startswith("<http://example.org/s>")
+        assert line.endswith(" .")

@@ -1,0 +1,142 @@
+"""Unit tests for the AST -> algebra translation."""
+
+from repro.rdf import Variable
+from repro.sparql import parse_query, translate_query
+from repro.sparql import algebra
+from repro.sparql.algebra import collect_bgps, walk
+
+
+def plan(text):
+    return translate_query(parse_query(text))
+
+
+class TestBasicTranslation:
+    def test_triple_patterns_form_single_bgp(self):
+        tree = plan("SELECT ?x WHERE { ?x dc:title ?t . ?x dc:creator ?c }")
+        bgps = collect_bgps(tree)
+        assert len(bgps) == 1
+        assert len(bgps[0].patterns) == 2
+
+    def test_select_adds_projection(self):
+        tree = plan("SELECT ?x WHERE { ?x dc:title ?t }")
+        projects = [n for n in walk(tree) if isinstance(n, algebra.Project)]
+        assert len(projects) == 1
+        assert projects[0].projection == [Variable("x")]
+
+    def test_select_star_projection_is_none(self):
+        tree = plan("SELECT * WHERE { ?x dc:title ?t }")
+        project = [n for n in walk(tree) if isinstance(n, algebra.Project)][0]
+        assert project.projection is None
+
+    def test_distinct_wraps_projection(self):
+        tree = plan("SELECT DISTINCT ?x WHERE { ?x dc:title ?t }")
+        assert isinstance(tree, algebra.Distinct)
+        assert isinstance(tree.operand, algebra.Project)
+
+    def test_order_by_below_projection(self):
+        tree = plan("SELECT ?t WHERE { ?x dc:title ?t } ORDER BY ?t")
+        project = [n for n in walk(tree) if isinstance(n, algebra.Project)][0]
+        assert isinstance(project.operand, algebra.OrderBy)
+
+    def test_limit_offset_becomes_slice_at_root(self):
+        tree = plan("SELECT ?t WHERE { ?x dc:title ?t } LIMIT 10 OFFSET 50")
+        assert isinstance(tree, algebra.Slice)
+        assert tree.limit == 10 and tree.offset == 50
+
+    def test_ask_root(self):
+        tree = plan("ASK { ?x dc:title ?t }")
+        assert isinstance(tree, algebra.Ask)
+
+
+class TestFilters:
+    def test_group_filter_wraps_bgp(self):
+        tree = plan("SELECT ?x WHERE { ?x dcterms:issued ?yr FILTER (?yr < ?x2) }")
+        filters = [n for n in walk(tree) if isinstance(n, algebra.Filter)]
+        assert len(filters) == 1
+        assert isinstance(filters[0].operand, algebra.BGP)
+
+    def test_multiple_filters_stack(self):
+        tree = plan(
+            "SELECT ?x WHERE { ?x dcterms:issued ?yr "
+            "FILTER (?yr < ?a) FILTER (?yr > ?b) }"
+        )
+        filters = [n for n in walk(tree) if isinstance(n, algebra.Filter)]
+        assert len(filters) == 2
+
+
+class TestOptional:
+    def test_optional_becomes_left_join(self):
+        tree = plan(
+            "SELECT ?x WHERE { ?x dc:title ?t OPTIONAL { ?x bench:abstract ?a } }"
+        )
+        left_joins = [n for n in walk(tree) if isinstance(n, algebra.LeftJoin)]
+        assert len(left_joins) == 1
+        assert left_joins[0].condition is None
+
+    def test_optional_filter_becomes_left_join_condition(self):
+        # The Q6 closed-world-negation encoding: the filter inside OPTIONAL
+        # references variables bound only outside.
+        tree = plan(
+            "SELECT ?x WHERE { ?x dc:creator ?author "
+            "OPTIONAL { ?y dc:creator ?author2 FILTER (?author = ?author2) } "
+            "FILTER (!bound(?author2)) }"
+        )
+        left_join = [n for n in walk(tree) if isinstance(n, algebra.LeftJoin)][0]
+        assert left_join.condition is not None
+        outer_filters = [n for n in walk(tree) if isinstance(n, algebra.Filter)]
+        assert len(outer_filters) == 1
+
+    def test_nested_optional_translates_to_nested_left_joins(self):
+        tree = plan(
+            "SELECT ?x WHERE { ?x dc:title ?t OPTIONAL { ?x dc:creator ?c "
+            "OPTIONAL { ?c foaf:name ?n } } }"
+        )
+        left_joins = [n for n in walk(tree) if isinstance(n, algebra.LeftJoin)]
+        assert len(left_joins) == 2
+
+
+class TestUnion:
+    def test_union_node(self):
+        tree = plan(
+            "SELECT ?x WHERE { { ?x dc:title ?t } UNION { ?x dc:creator ?t } }"
+        )
+        unions = [n for n in walk(tree) if isinstance(n, algebra.Union)]
+        assert len(unions) == 1
+
+    def test_union_with_shared_prefix_joins(self):
+        tree = plan(
+            "SELECT ?name WHERE { ?p rdf:type foaf:Person . "
+            "{ ?p foaf:name ?name } UNION { ?p dc:title ?name } }"
+        )
+        joins = [n for n in walk(tree) if isinstance(n, algebra.Join)]
+        unions = [n for n in walk(tree) if isinstance(n, algebra.Union)]
+        assert len(joins) == 1
+        assert len(unions) == 1
+
+    def test_three_branch_union_nests(self):
+        tree = plan(
+            "SELECT ?x WHERE { { ?x dc:title ?t } UNION { ?x dc:creator ?t } "
+            "UNION { ?x foaf:name ?t } }"
+        )
+        unions = [n for n in walk(tree) if isinstance(n, algebra.Union)]
+        assert len(unions) == 2
+
+
+class TestVariables:
+    def test_bgp_variables(self):
+        tree = plan("SELECT ?x WHERE { ?x dc:title ?t . ?x dc:creator ?c }")
+        bgp = collect_bgps(tree)[0]
+        assert {v.name for v in bgp.variables()} == {"x", "t", "c"}
+
+    def test_pattern_variables_cover_optional_part(self):
+        tree = plan(
+            "SELECT ?x WHERE { ?x dc:title ?t OPTIONAL { ?x bench:abstract ?a } }"
+        )
+        left_join = [n for n in walk(tree) if isinstance(n, algebra.LeftJoin)][0]
+        assert {v.name for v in left_join.variables()} == {"x", "t", "a"}
+
+    def test_projection_restricts_root_variables(self):
+        tree = plan(
+            "SELECT ?x WHERE { ?x dc:title ?t OPTIONAL { ?x bench:abstract ?a } }"
+        )
+        assert {v.name for v in tree.variables()} == {"x"}

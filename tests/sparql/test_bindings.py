@@ -1,0 +1,95 @@
+"""Unit tests for solution mappings (Binding)."""
+
+import pytest
+
+from repro.rdf import Literal, URIRef, Variable
+from repro.sparql import EMPTY_BINDING, Binding
+
+A = URIRef("http://example.org/a")
+B = URIRef("http://example.org/b")
+
+
+class TestAccess:
+    def test_get_by_name_and_variable(self):
+        binding = Binding({"x": A})
+        assert binding.get("x") == A
+        assert binding.get(Variable("x")) == A
+        assert binding.get("?x") == A
+
+    def test_get_missing_returns_default(self):
+        assert Binding().get("x") is None
+        assert Binding().get("x", B) == B
+
+    def test_is_bound_and_contains(self):
+        binding = Binding({"x": A})
+        assert binding.is_bound("x")
+        assert Variable("x") in binding
+        assert "y" not in binding
+
+    def test_variables_and_items(self):
+        binding = Binding({"x": A, "y": B})
+        assert binding.variables() == {"x", "y"}
+        assert dict(binding.items()) == {"x": A, "y": B}
+
+    def test_getitem_raises_for_missing(self):
+        with pytest.raises(KeyError):
+            Binding()["x"]
+
+    def test_immutable(self):
+        binding = Binding({"x": A})
+        with pytest.raises(AttributeError):
+            binding.extra = 1
+
+    def test_variable_keys_normalised(self):
+        binding = Binding({Variable("x"): A})
+        assert binding.get("x") == A
+
+
+class TestAlgebra:
+    def test_compatible_on_disjoint_domains(self):
+        assert Binding({"x": A}).compatible(Binding({"y": B}))
+
+    def test_compatible_on_agreeing_shared_variable(self):
+        assert Binding({"x": A, "y": B}).compatible(Binding({"x": A}))
+
+    def test_incompatible_on_conflicting_shared_variable(self):
+        assert not Binding({"x": A}).compatible(Binding({"x": B}))
+
+    def test_empty_binding_compatible_with_everything(self):
+        assert EMPTY_BINDING.compatible(Binding({"x": A}))
+        assert Binding({"x": A}).compatible(EMPTY_BINDING)
+
+    def test_merge_unions_mappings(self):
+        merged = Binding({"x": A}).merge(Binding({"y": B}))
+        assert merged.get("x") == A and merged.get("y") == B
+
+    def test_extend_adds_one_variable(self):
+        extended = Binding({"x": A}).extend(Variable("y"), B)
+        assert extended.get("y") == B
+        assert Binding({"x": A}).get("y") is None
+
+    def test_project_restricts_variables(self):
+        binding = Binding({"x": A, "y": B})
+        projected = binding.project([Variable("x")])
+        assert projected.variables() == {"x"}
+
+    def test_project_ignores_unbound_variables(self):
+        projected = Binding({"x": A}).project([Variable("x"), Variable("z")])
+        assert projected.variables() == {"x"}
+
+
+class TestEqualityAndHashing:
+    def test_equality(self):
+        assert Binding({"x": A}) == Binding({"x": A})
+        assert Binding({"x": A}) != Binding({"x": B})
+
+    def test_hash_consistency(self):
+        assert hash(Binding({"x": A})) == hash(Binding({"x": A}))
+
+    def test_usable_in_sets(self):
+        solutions = {Binding({"x": A}), Binding({"x": A}), Binding({"x": B})}
+        assert len(solutions) == 2
+
+    def test_len(self):
+        assert len(Binding({"x": A, "y": Literal("v")})) == 2
+        assert len(EMPTY_BINDING) == 0

@@ -1,0 +1,153 @@
+"""Unit tests for triple-pattern reordering and filter pushing."""
+
+import pytest
+
+from repro.rdf import BENCH, DC, RDF, FOAF, Literal, Triple, URIRef, Variable
+from repro.sparql import (
+    NATIVE_BASELINE,
+    NATIVE_OPTIMIZED,
+    SparqlEngine,
+    optimize,
+    parse_query,
+    reorder_patterns,
+    translate_query,
+)
+from repro.sparql import algebra
+from repro.sparql.algebra import collect_bgps, walk
+from repro.sparql.optimizer import split_conjuncts
+from repro.sparql import ast
+from repro.store import IndexedStore
+
+XSD_STRING = "http://www.w3.org/2001/XMLSchema#string"
+
+
+def build_store():
+    """Many articles, one journal: rdf:type patterns are unselective,
+    the title lookup is highly selective."""
+    store = IndexedStore()
+    journal = URIRef("http://x/journal1")
+    store.add(Triple(journal, RDF.type, BENCH.Journal))
+    store.add(Triple(journal, DC.title, Literal("Journal 1 (1940)", datatype=XSD_STRING)))
+    for index in range(50):
+        article = URIRef(f"http://x/article{index}")
+        store.add(Triple(article, RDF.type, BENCH.Article))
+        store.add(Triple(article, DC.title, Literal(f"Paper {index}", datatype=XSD_STRING)))
+        store.add(Triple(article, DC.creator, URIRef(f"http://x/person{index % 7}")))
+    return store
+
+
+def var(name):
+    return Variable(name)
+
+
+class TestReordering:
+    def test_selective_pattern_moves_first(self):
+        store = build_store()
+        patterns = [
+            Triple(var("a"), RDF.type, BENCH.Article),
+            Triple(var("a"), DC.title, Literal("Paper 3", datatype=XSD_STRING)),
+        ]
+        ordered = reorder_patterns(patterns, store)
+        assert ordered[0].predicate == DC.title
+
+    def test_connected_patterns_preferred_over_cheap_disconnected(self):
+        store = build_store()
+        patterns = [
+            Triple(var("a"), DC.title, Literal("Paper 3", datatype=XSD_STRING)),
+            Triple(var("a"), DC.creator, var("p")),
+            Triple(var("j"), RDF.type, BENCH.Journal),
+        ]
+        ordered = reorder_patterns(patterns, store)
+        # After the selective title pattern, the creator pattern (which shares
+        # ?a) comes before the disconnected journal pattern.
+        assert ordered[1].predicate == DC.creator
+
+    def test_reordering_preserves_pattern_multiset(self):
+        store = build_store()
+        patterns = [
+            Triple(var("a"), RDF.type, BENCH.Article),
+            Triple(var("a"), DC.creator, var("p")),
+            Triple(var("a"), DC.title, var("t")),
+        ]
+        ordered = reorder_patterns(patterns, store)
+        assert sorted(ordered, key=repr) == sorted(patterns, key=repr)
+
+    def test_single_pattern_untouched(self):
+        patterns = [Triple(var("a"), RDF.type, BENCH.Article)]
+        assert reorder_patterns(patterns, build_store()) == patterns
+
+    def test_reordering_without_store_uses_static_heuristic(self):
+        patterns = [
+            Triple(var("s"), var("p"), var("o")),
+            Triple(var("s"), RDF.type, BENCH.Article),
+        ]
+        ordered = reorder_patterns(patterns, None)
+        assert ordered[0].predicate == RDF.type
+
+
+class TestFilterPushing:
+    def test_split_conjuncts_flattens_nested_and(self):
+        a = ast.Bound(var("a"))
+        b = ast.Bound(var("b"))
+        c = ast.Bound(var("c"))
+        assert split_conjuncts(ast.And(ast.And(a, b), c)) == [a, b, c]
+
+    def test_filter_pushed_into_bgp(self):
+        query = parse_query(
+            "SELECT ?a WHERE { ?a rdf:type bench:Article . "
+            "?a ?property ?value FILTER (?property = swrc:pages) }"
+        )
+        tree = optimize(translate_query(query), build_store())
+        bgp = collect_bgps(tree)[0]
+        assert bgp.inline_filters, "filter should have been pushed into the BGP"
+        filters = [n for n in walk(tree) if isinstance(n, algebra.Filter)]
+        assert not filters, "no residual outer Filter expected"
+
+    def test_filter_position_is_first_point_where_vars_are_bound(self):
+        query = parse_query(
+            "SELECT ?a WHERE { ?a rdf:type bench:Article . "
+            "?a dc:creator ?p FILTER (?a != ?p) }"
+        )
+        tree = optimize(translate_query(query), build_store(), reorder=False)
+        bgp = collect_bgps(tree)[0]
+        positions = [pos for pos, _expr in bgp.inline_filters]
+        assert positions == [1]
+
+    def test_unpushable_filter_stays_outside(self):
+        # bound(?a2) references an OPTIONAL-only variable: must not be pushed.
+        query = parse_query(
+            "SELECT ?d WHERE { ?d rdf:type bench:Article "
+            "OPTIONAL { ?d dc:creator ?a2 } FILTER (!bound(?a2)) }"
+        )
+        tree = optimize(translate_query(query), build_store())
+        filters = [n for n in walk(tree) if isinstance(n, algebra.Filter)]
+        assert len(filters) == 1
+
+    def test_push_filters_flag_disables_pushing(self):
+        query = parse_query(
+            "SELECT ?a WHERE { ?a rdf:type bench:Article . "
+            "?a ?property ?value FILTER (?property = swrc:pages) }"
+        )
+        tree = optimize(translate_query(query), build_store(), push_filters=False)
+        filters = [n for n in walk(tree) if isinstance(n, algebra.Filter)]
+        assert len(filters) == 1
+        assert not collect_bgps(tree)[0].inline_filters
+
+
+class TestSemanticsPreserved:
+    QUERIES = (
+        "SELECT ?a ?p WHERE { ?a rdf:type bench:Article . ?a dc:creator ?p }",
+        "SELECT ?a WHERE { ?a rdf:type bench:Article . ?a dc:title ?t "
+        'FILTER (?t = "Paper 3"^^xsd:string) }',
+        "SELECT DISTINCT ?p WHERE { { ?a dc:creator ?p } UNION { ?a dc:title ?p } }",
+        "SELECT ?a ?t WHERE { ?a rdf:type bench:Article "
+        "OPTIONAL { ?a dc:title ?t } }",
+    )
+
+    @pytest.mark.parametrize("query_text", QUERIES)
+    def test_optimized_equals_unoptimized(self, query_text):
+        graph = list(build_store())
+        baseline = SparqlEngine.from_graph(graph, NATIVE_BASELINE)
+        optimized = SparqlEngine.from_graph(graph, NATIVE_OPTIMIZED)
+        assert (baseline.query(query_text).as_multiset()
+                == optimized.query(query_text).as_multiset())

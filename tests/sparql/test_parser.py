@@ -1,0 +1,207 @@
+"""Unit tests for the SPARQL parser."""
+
+import pytest
+
+from repro.queries import ALL_QUERIES
+from repro.rdf import DC, RDF, Literal, URIRef, Variable
+from repro.sparql import AskQuery, SelectQuery, SparqlSyntaxError, parse_query
+from repro.sparql import ast
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        query = parse_query("SELECT ?x WHERE { ?x rdf:type foaf:Person }")
+        assert isinstance(query, SelectQuery)
+        assert query.variables == [Variable("x")]
+        assert len(query.where.triple_patterns()) == 1
+
+    def test_where_keyword_is_optional(self):
+        query = parse_query("SELECT ?x { ?x rdf:type foaf:Person }")
+        assert len(query.where.triple_patterns()) == 1
+
+    def test_select_star(self):
+        query = parse_query("SELECT * WHERE { ?x dc:title ?t }")
+        assert query.variables == []
+        assert query.projected_variables() is None
+
+    def test_distinct_flag(self):
+        query = parse_query("SELECT DISTINCT ?x WHERE { ?x dc:title ?t }")
+        assert query.distinct is True
+
+    def test_multiple_projection_variables(self):
+        query = parse_query("SELECT ?a ?b ?c WHERE { ?a ?b ?c }")
+        assert [v.name for v in query.variables] == ["a", "b", "c"]
+
+    def test_prefix_declaration_overrides_default(self):
+        text = (
+            "PREFIX dc: <http://example.org/other/> "
+            "SELECT ?t WHERE { ?x dc:title ?t }"
+        )
+        query = parse_query(text)
+        pattern = query.where.triple_patterns()[0]
+        assert pattern.predicate == URIRef("http://example.org/other/title")
+
+    def test_default_prefixes_available_without_declaration(self):
+        query = parse_query("SELECT ?t WHERE { ?x dc:title ?t }")
+        pattern = query.where.triple_patterns()[0]
+        assert pattern.predicate == DC.title
+
+    def test_full_iri_term(self):
+        query = parse_query("SELECT ?x WHERE { ?x <http://example.org/p> ?y }")
+        assert query.where.triple_patterns()[0].predicate == URIRef("http://example.org/p")
+
+    def test_a_keyword_expands_to_rdf_type(self):
+        query = parse_query("SELECT ?x WHERE { ?x a foaf:Person }")
+        assert query.where.triple_patterns()[0].predicate == RDF.type
+
+    def test_typed_string_literal_object(self):
+        query = parse_query(
+            'SELECT ?j WHERE { ?j dc:title "Journal 1 (1940)"^^xsd:string }'
+        )
+        literal = query.where.triple_patterns()[0].object
+        assert isinstance(literal, Literal)
+        assert literal.lexical == "Journal 1 (1940)"
+        assert literal.datatype.endswith("string")
+
+    def test_semicolon_shares_subject(self):
+        query = parse_query("SELECT ?x WHERE { ?x dc:title ?t ; dc:creator ?c }")
+        patterns = query.where.triple_patterns()
+        assert len(patterns) == 2
+        assert patterns[0].subject == patterns[1].subject
+
+    def test_comma_shares_subject_and_predicate(self):
+        query = parse_query("SELECT ?x WHERE { ?x dc:creator ?a , ?b }")
+        patterns = query.where.triple_patterns()
+        assert len(patterns) == 2
+        assert patterns[0].predicate == patterns[1].predicate
+
+
+class TestModifiers:
+    def test_order_by(self):
+        query = parse_query("SELECT ?t WHERE { ?x dc:title ?t } ORDER BY ?t")
+        assert query.order_by == [(Variable("t"), True)]
+
+    def test_order_by_desc(self):
+        query = parse_query("SELECT ?t WHERE { ?x dc:title ?t } ORDER BY DESC(?t)")
+        assert query.order_by == [(Variable("t"), False)]
+
+    def test_limit_and_offset(self):
+        query = parse_query(
+            "SELECT ?t WHERE { ?x dc:title ?t } ORDER BY ?t LIMIT 10 OFFSET 50"
+        )
+        assert query.limit == 10
+        assert query.offset == 50
+
+    def test_offset_before_limit(self):
+        query = parse_query("SELECT ?t WHERE { ?x dc:title ?t } OFFSET 5 LIMIT 2")
+        assert query.limit == 2
+        assert query.offset == 5
+
+
+class TestPatterns:
+    def test_optional_group(self):
+        query = parse_query(
+            "SELECT ?x ?ab WHERE { ?x dc:title ?t OPTIONAL { ?x bench:abstract ?ab } }"
+        )
+        optionals = [e for e in query.where.elements if isinstance(e, ast.OptionalNode)]
+        assert len(optionals) == 1
+        assert len(optionals[0].group.triple_patterns()) == 1
+
+    def test_nested_optional(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x dc:title ?t OPTIONAL { ?x dc:creator ?c "
+            "OPTIONAL { ?c foaf:name ?n } } }"
+        )
+        outer = [e for e in query.where.elements if isinstance(e, ast.OptionalNode)][0]
+        inner = [e for e in outer.group.elements if isinstance(e, ast.OptionalNode)]
+        assert len(inner) == 1
+
+    def test_union(self):
+        query = parse_query(
+            "SELECT ?x WHERE { { ?x dc:title ?t } UNION { ?x dc:creator ?t } }"
+        )
+        unions = [e for e in query.where.elements if isinstance(e, ast.UnionNode)]
+        assert len(unions) == 1
+        assert len(unions[0].branches) == 2
+
+    def test_three_way_union(self):
+        query = parse_query(
+            "SELECT ?x WHERE { { ?x dc:title ?t } UNION { ?x dc:creator ?t } "
+            "UNION { ?x foaf:name ?t } }"
+        )
+        unions = [e for e in query.where.elements if isinstance(e, ast.UnionNode)]
+        assert len(unions[0].branches) == 3
+
+    def test_filter_with_comparison(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x dcterms:issued ?yr FILTER (?yr < ?other) }"
+        )
+        filters = query.where.filters()
+        assert len(filters) == 1
+        assert isinstance(filters[0], ast.Comparison)
+        assert filters[0].operator == "<"
+
+    def test_filter_with_conjunction(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x dc:creator ?a FILTER (?a != ?b && ?x != ?y) }"
+        )
+        assert isinstance(query.where.filters()[0], ast.And)
+
+    def test_filter_not_bound(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x dc:title ?t FILTER (!bound(?other)) }"
+        )
+        expression = query.where.filters()[0]
+        assert isinstance(expression, ast.Not)
+        assert isinstance(expression.operand, ast.Bound)
+
+    def test_filter_regex(self):
+        query = parse_query(
+            'SELECT ?x WHERE { ?x dc:title ?t FILTER regex(?t, "^Data", "i") }'
+        )
+        assert isinstance(query.where.filters()[0], ast.Regex)
+
+    def test_variable_predicate(self):
+        query = parse_query("SELECT ?p WHERE { ?s ?p ?o }")
+        assert query.where.triple_patterns()[0].predicate == Variable("p")
+
+
+class TestAsk:
+    def test_ask_query(self):
+        query = parse_query("ASK { person:John_Q_Public rdf:type foaf:Person }")
+        assert isinstance(query, AskQuery)
+        assert len(query.where.triple_patterns()) == 1
+
+
+class TestErrors:
+    def test_missing_brace_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?x WHERE { ?x dc:title ?t")
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?x WHERE { ?x nosuch:title ?t }")
+
+    def test_missing_projection_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT WHERE { ?x dc:title ?t }")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("SELECT ?x WHERE { ?x dc:title ?t } garbage")
+
+    def test_construct_form_unsupported(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query("CONSTRUCT { ?x dc:title ?t } WHERE { ?x dc:title ?t }")
+
+    def test_literal_in_predicate_position_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse_query('SELECT ?x WHERE { ?x "notapredicate" ?t }')
+
+
+class TestBenchmarkQueriesParse:
+    @pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.identifier)
+    def test_all_published_queries_parse(self, query):
+        parsed = parse_query(query.text)
+        expected_type = AskQuery if query.form == "ASK" else SelectQuery
+        assert isinstance(parsed, expected_type)

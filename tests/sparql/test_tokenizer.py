@@ -1,0 +1,92 @@
+"""Unit tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.sparql.errors import SparqlSyntaxError
+from repro.sparql.tokenizer import tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text) if token.kind != "EOF"]
+
+
+def values(text):
+    return [token.value for token in tokenize(text) if token.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_keywords_are_recognised_case_insensitively(self):
+        assert kinds("SELECT select Select") == ["KEYWORD"] * 3
+
+    def test_variables(self):
+        tokens = tokenize("?x $y")
+        assert tokens[0].kind == "VAR" and tokens[0].value == "?x"
+        assert tokens[1].kind == "VAR" and tokens[1].value == "$y"
+
+    def test_iri(self):
+        assert kinds("<http://example.org/a>") == ["IRI"]
+
+    def test_qname(self):
+        assert kinds("dc:title") == ["QNAME"]
+
+    def test_qname_does_not_swallow_trailing_dot(self):
+        assert kinds("bench:Journal.") == ["QNAME", "DOT"]
+        assert values("bench:Journal.")[0] == "bench:Journal"
+
+    def test_prefixed_namespace_token(self):
+        assert kinds("rdf:") == ["PNAME_NS"]
+
+    def test_string_literal(self):
+        assert kinds('"hello world"') == ["STRING"]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds('"say \\"hi\\""') == ["STRING"]
+
+    def test_typed_literal_tokens(self):
+        assert kinds('"Journal 1 (1940)"^^xsd:string') == ["STRING", "TYPED_HINT", "QNAME"]
+
+    def test_numbers(self):
+        assert kinds("10 50") == ["NUMBER", "NUMBER"]
+
+    def test_blank_node(self):
+        assert kinds("_:b1") == ["BLANK"]
+
+    def test_comments_and_whitespace_dropped(self):
+        assert kinds("SELECT # a comment\n ?x") == ["KEYWORD", "VAR"]
+
+
+class TestOperators:
+    def test_comparison_operators(self):
+        assert kinds("= != < > <= >=") == ["EQ", "NEQ", "LT", "GT", "LE", "GE"]
+
+    def test_logical_operators(self):
+        assert kinds("&& || !") == ["AND", "OR", "BANG"]
+
+    def test_not_bound_sequence(self):
+        assert kinds("!bound(?x)") == ["BANG", "KEYWORD", "LPAREN", "VAR", "RPAREN"]
+
+    def test_compact_comparison_between_variables(self):
+        # As written in Q4: FILTER (?name1<?name2)
+        assert kinds("?name1<?name2") == ["VAR", "LT", "VAR"]
+
+    def test_compact_inequality(self):
+        assert kinds("?author!=?erdoes") == ["VAR", "NEQ", "VAR"]
+
+    def test_braces_and_punctuation(self):
+        assert kinds("{ } ( ) . ; ,") == [
+            "LBRACE", "RBRACE", "LPAREN", "RPAREN", "DOT", "SEMICOLON", "COMMA",
+        ]
+
+
+class TestErrors:
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            tokenize("SELECT @@@")
+
+    def test_error_reports_offset(self):
+        with pytest.raises(SparqlSyntaxError) as excinfo:
+            tokenize("SELECT ~")
+        assert excinfo.value.position == 7
+
+    def test_eof_token_is_appended(self):
+        assert tokenize("")[-1].kind == "EOF"

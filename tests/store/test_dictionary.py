@@ -1,0 +1,46 @@
+"""Unit tests for the term dictionary."""
+
+from repro.rdf import Literal, URIRef
+from repro.store import TermDictionary
+
+
+class TestTermDictionary:
+    def test_encode_assigns_sequential_ids(self):
+        dictionary = TermDictionary()
+        assert dictionary.encode(URIRef("http://x/a")) == 0
+        assert dictionary.encode(URIRef("http://x/b")) == 1
+
+    def test_encode_is_idempotent(self):
+        dictionary = TermDictionary()
+        first = dictionary.encode(URIRef("http://x/a"))
+        second = dictionary.encode(URIRef("http://x/a"))
+        assert first == second
+        assert len(dictionary) == 1
+
+    def test_decode_inverts_encode(self):
+        dictionary = TermDictionary()
+        term = Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        term_id = dictionary.encode(term)
+        assert dictionary.decode(term_id) == term
+
+    def test_lookup_returns_none_for_unknown(self):
+        dictionary = TermDictionary()
+        assert dictionary.lookup(URIRef("http://x/a")) is None
+
+    def test_contains(self):
+        dictionary = TermDictionary()
+        dictionary.encode(URIRef("http://x/a"))
+        assert URIRef("http://x/a") in dictionary
+        assert URIRef("http://x/b") not in dictionary
+
+    def test_distinct_literals_by_datatype(self):
+        dictionary = TermDictionary()
+        plain = dictionary.encode(Literal("5"))
+        typed = dictionary.encode(Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer"))
+        assert plain != typed
+
+    def test_encoding_order_is_first_seen(self):
+        dictionary = TermDictionary()
+        terms = [URIRef(f"http://x/{i}") for i in range(10)]
+        ids = [dictionary.encode(term) for term in terms]
+        assert ids == list(range(10))

@@ -1,0 +1,103 @@
+"""Unit tests for the dictionary-encoded IndexedStore."""
+
+import itertools
+
+import pytest
+
+from repro.rdf import BNode, Literal, Triple, URIRef
+from repro.store import IndexedStore, MemoryStore
+
+EX = "http://example.org/"
+
+
+def uri(local):
+    return URIRef(EX + local)
+
+
+def sample_triples():
+    return [
+        Triple(uri("a"), uri("p"), uri("b")),
+        Triple(uri("a"), uri("p"), uri("c")),
+        Triple(uri("a"), uri("q"), Literal("v")),
+        Triple(uri("b"), uri("p"), uri("c")),
+        Triple(BNode("n"), uri("q"), Literal("w")),
+    ]
+
+
+@pytest.fixture
+def store():
+    return IndexedStore(sample_triples())
+
+
+class TestBasics:
+    def test_len(self, store):
+        assert len(store) == 5
+
+    def test_duplicate_add_ignored(self, store):
+        assert store.add(sample_triples()[0]) is False
+        assert len(store) == 5
+
+    def test_contains(self, store):
+        assert store.contains(sample_triples()[0])
+        assert not store.contains(Triple(uri("z"), uri("p"), uri("b")))
+
+    def test_contains_with_unknown_term(self, store):
+        assert not store.contains(Triple(uri("unknown"), uri("p"), uri("b")))
+
+    def test_dictionary_grows_with_distinct_terms(self, store):
+        distinct_terms = set()
+        for triple in sample_triples():
+            distinct_terms.update(triple)
+        assert len(store.dictionary) == len(distinct_terms)
+
+
+class TestPatternAccess:
+    def test_every_bound_combination_matches_linear_scan(self, store):
+        """The index answers all 8 binding combinations identically to a scan."""
+        reference = MemoryStore(sample_triples())
+        terms = {
+            "s": [uri("a"), uri("b"), BNode("n"), None],
+            "p": [uri("p"), uri("q"), None],
+            "o": [uri("b"), uri("c"), Literal("v"), Literal("w"), None],
+        }
+        for s, p, o in itertools.product(terms["s"], terms["p"], terms["o"]):
+            expected = set(reference.triples(s, p, o))
+            actual = set(store.triples(s, p, o))
+            assert actual == expected, (s, p, o)
+
+    def test_unknown_term_yields_nothing(self, store):
+        assert list(store.triples(subject=uri("nope"))) == []
+
+    def test_count_by_predicate(self, store):
+        assert store.count(predicate=uri("p")) == 3
+        assert store.count(predicate=uri("q")) == 2
+
+    def test_count_fully_bound(self, store):
+        assert store.count(uri("a"), uri("p"), uri("b")) == 1
+        assert store.count(uri("a"), uri("p"), Literal("v")) == 0
+
+    def test_count_unconstrained(self, store):
+        assert store.count() == 5
+
+
+class TestEstimates:
+    def test_estimate_matches_exact_for_bound_patterns(self, store):
+        assert store.estimate_count(predicate=uri("p")) == 3
+        assert store.estimate_count(subject=uri("a"), predicate=uri("p")) == 2
+
+    def test_estimate_for_unbound_pattern_is_total(self, store):
+        assert store.estimate_count() == 5
+
+    def test_estimate_zero_for_unknown_terms(self, store):
+        assert store.estimate_count(subject=uri("nope")) == 0
+
+
+class TestStatisticsIntegration:
+    def test_statistics_observe_all_triples(self, store):
+        assert store.statistics.triple_count == 5
+
+    def test_predicate_counts(self, store):
+        assert store.statistics.predicate_count(uri("p")) == 3
+
+    def test_class_counts_only_for_rdf_type(self, store):
+        assert store.statistics.class_counts == {}

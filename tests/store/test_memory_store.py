@@ -1,0 +1,76 @@
+"""Unit tests for the unindexed MemoryStore."""
+
+from repro.rdf import Graph, Literal, Triple, URIRef
+from repro.store import MemoryStore
+
+EX = "http://example.org/"
+
+
+def uri(local):
+    return URIRef(EX + local)
+
+
+def sample_triples():
+    return [
+        Triple(uri("a"), uri("p"), uri("b")),
+        Triple(uri("a"), uri("p"), uri("c")),
+        Triple(uri("b"), uri("q"), Literal("v")),
+    ]
+
+
+class TestMemoryStore:
+    def test_add_and_len(self):
+        store = MemoryStore()
+        for triple in sample_triples():
+            assert store.add(triple) is True
+        assert len(store) == 3
+
+    def test_add_duplicate_is_noop(self):
+        store = MemoryStore(sample_triples())
+        assert store.add(sample_triples()[0]) is False
+        assert len(store) == 3
+
+    def test_constructor_loads_iterable(self):
+        assert len(MemoryStore(sample_triples())) == 3
+
+    def test_load_graph_returns_added_count(self):
+        store = MemoryStore()
+        assert store.load_graph(Graph(sample_triples())) == 3
+
+    def test_triples_full_scan(self):
+        store = MemoryStore(sample_triples())
+        assert len(list(store.triples())) == 3
+
+    def test_triples_by_subject(self):
+        store = MemoryStore(sample_triples())
+        assert len(list(store.triples(subject=uri("a")))) == 2
+
+    def test_triples_by_predicate_object(self):
+        store = MemoryStore(sample_triples())
+        matches = list(store.triples(predicate=uri("q"), object=Literal("v")))
+        assert matches == [sample_triples()[2]]
+
+    def test_contains(self):
+        store = MemoryStore(sample_triples())
+        assert store.contains(sample_triples()[0])
+        assert sample_triples()[0] in store
+        assert Triple(uri("x"), uri("p"), uri("b")) not in store
+
+    def test_count_matches_pattern(self):
+        store = MemoryStore(sample_triples())
+        assert store.count(subject=uri("a")) == 2
+        assert store.count() == 3
+
+    def test_estimate_count_defaults_to_exact(self):
+        store = MemoryStore(sample_triples())
+        assert store.estimate_count(subject=uri("a")) == 2
+
+    def test_remove(self):
+        store = MemoryStore(sample_triples())
+        assert store.remove(sample_triples()[0]) is True
+        assert store.remove(sample_triples()[0]) is False
+        assert len(store) == 2
+
+    def test_iteration(self):
+        store = MemoryStore(sample_triples())
+        assert list(store) == sample_triples()

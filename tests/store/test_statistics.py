@@ -1,0 +1,76 @@
+"""Unit tests for store statistics and selectivity estimation."""
+
+import pytest
+
+from repro.rdf import BENCH, RDF, Literal, Triple, URIRef
+from repro.store import StoreStatistics
+
+EX = "http://example.org/"
+
+
+def uri(local):
+    return URIRef(EX + local)
+
+
+def build_statistics():
+    statistics = StoreStatistics()
+    triples = [
+        Triple(uri("a1"), RDF.type, BENCH.Article),
+        Triple(uri("a2"), RDF.type, BENCH.Article),
+        Triple(uri("p1"), RDF.type, BENCH.Proceedings),
+        Triple(uri("a1"), uri("pages"), Literal("1--10")),
+        Triple(uri("a2"), uri("pages"), Literal("11--20")),
+        Triple(uri("a1"), uri("creator"), uri("alice")),
+        Triple(uri("a2"), uri("creator"), uri("alice")),
+        Triple(uri("a2"), uri("creator"), uri("bob")),
+    ]
+    for triple in triples:
+        statistics.observe(triple)
+    return statistics
+
+
+class TestCounts:
+    def test_triple_count(self):
+        assert build_statistics().triple_count == 8
+
+    def test_predicate_count(self):
+        statistics = build_statistics()
+        assert statistics.predicate_count(uri("creator")) == 3
+        assert statistics.predicate_count(uri("missing")) == 0
+
+    def test_distinct_subjects_and_objects(self):
+        statistics = build_statistics()
+        assert statistics.distinct_subjects(uri("creator")) == 2
+        assert statistics.distinct_objects(uri("creator")) == 2
+
+    def test_class_counts_from_rdf_type(self):
+        statistics = build_statistics()
+        assert statistics.class_count(BENCH.Article) == 2
+        assert statistics.class_count(BENCH.Proceedings) == 1
+        assert statistics.class_count(BENCH.Journal) == 0
+
+
+class TestEstimates:
+    def test_bound_predicate_estimate_is_predicate_count(self):
+        assert build_statistics().estimate(None, uri("creator"), None) == 3
+
+    def test_unknown_predicate_estimates_zero(self):
+        assert build_statistics().estimate(None, uri("missing"), None) == 0
+
+    def test_rdf_type_with_object_uses_class_count(self):
+        assert build_statistics().estimate(None, RDF.type, BENCH.Article) == 2
+
+    def test_bound_subject_reduces_estimate(self):
+        statistics = build_statistics()
+        bound = statistics.estimate(uri("a1"), uri("creator"), None)
+        unbound = statistics.estimate(None, uri("creator"), None)
+        assert bound < unbound
+
+    def test_variable_predicate_uses_total(self):
+        statistics = build_statistics()
+        assert statistics.estimate(None, None, None) == pytest.approx(8.0)
+
+    def test_variable_predicate_with_bound_subject_scales_down(self):
+        statistics = build_statistics()
+        estimate = statistics.estimate(uri("a1"), None, None)
+        assert 0 < estimate < 8
