@@ -9,6 +9,8 @@ pytest-benchmark so that ``--benchmark-only`` reports meaningful numbers.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.bench import BenchmarkHarness, ExperimentConfig
@@ -19,7 +21,13 @@ from repro.sparql import ENGINE_PRESETS, NATIVE_OPTIMIZED, SparqlEngine
 #: Scaled-down document sizes standing in for the paper's 10k...25M triples.
 #: The smallest size must still reach the year 1940 so that the fixed query
 #: entry points (Journal 1 (1940), Paul Erdoes) exist, as in the paper.
-BENCH_DOCUMENT_SIZES = (1_000, 2_500, 5_000)
+#: ``SP2B_BENCH_SIZES`` (comma-separated triple counts) overrides the sweep,
+#: which CI uses for a smallest-document smoke run.
+_ENV_SIZES = os.environ.get("SP2B_BENCH_SIZES")
+if _ENV_SIZES:
+    BENCH_DOCUMENT_SIZES = tuple(int(size) for size in _ENV_SIZES.split(","))
+else:
+    BENCH_DOCUMENT_SIZES = (1_000, 2_500, 5_000)
 
 #: Per-query timeout (seconds); the paper uses 30 minutes on native engines.
 BENCH_TIMEOUT = 5.0

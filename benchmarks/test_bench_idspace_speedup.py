@@ -1,0 +1,93 @@
+"""Ablation — id-space versus term-space evaluation on the indexed store.
+
+The id-space pipeline (see DESIGN.md) joins over dictionary-encoded integer
+ids and decodes terms only at the result boundary, the way the paper's native
+engines (Sesame-native, Virtuoso) do.  This bench runs the Q1/Q2/Q4/Q6 mix on
+one shared :class:`~repro.store.IndexedStore` through both solution
+representations and records the speedup ratio in the report output.
+
+The document size defaults to 25k triples (the acceptance configuration) and
+can be scaled down for smoke runs via ``SP2B_IDSPACE_TRIPLES``; the >= 2x
+speedup assertion only applies at the full size, where join costs dominate
+fixed overheads.
+"""
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.generator import DblpGenerator, GeneratorConfig
+from repro.queries import get_query
+from repro.sparql import NATIVE_OPTIMIZED, SparqlEngine
+
+#: Document size for the comparison; override for CI smoke runs.
+IDSPACE_BENCH_TRIPLES = int(os.environ.get("SP2B_IDSPACE_TRIPLES", "25000"))
+
+#: The query mix: point lookup (Q1), wide OPTIONAL scan with ORDER BY (Q2),
+#: the join-heavy DISTINCT chain (Q4), closed-world negation (Q6).
+MIX = ("Q1", "Q2", "Q4", "Q6")
+
+
+@pytest.fixture(scope="module")
+def paired_engines():
+    """Two engines over one shared indexed store: id-space and term-space."""
+    graph = DblpGenerator(
+        GeneratorConfig(triple_limit=IDSPACE_BENCH_TRIPLES, seed=823645187)
+    ).graph()
+    id_engine = SparqlEngine.from_graph(graph, NATIVE_OPTIMIZED)
+    term_engine = SparqlEngine(
+        replace(NATIVE_OPTIMIZED, name="native-term-space", use_id_space=False)
+    )
+    # Share the loaded store so both paths see identical data and dictionary.
+    term_engine.store = id_engine.store
+    return id_engine, term_engine
+
+
+def _timed(engine, query_id):
+    start = time.perf_counter()
+    result = engine.query(get_query(query_id).text)
+    return time.perf_counter() - start, result
+
+
+def test_idspace_speedup_on_query_mix(benchmark, paired_engines):
+    """Id-space evaluation beats the term-space path on the Q1/Q2/Q4/Q6 mix."""
+    id_engine, term_engine = paired_engines
+    benchmark.pedantic(
+        lambda: id_engine.query(get_query("Q2").text), rounds=1, iterations=1
+    )
+
+    print(
+        f"\nId-space vs term-space evaluation, IndexedStore, "
+        f"{IDSPACE_BENCH_TRIPLES} triples (elapsed seconds)"
+    )
+    total_id = total_term = 0.0
+    for query_id in MIX:
+        id_time, id_result = _timed(id_engine, query_id)
+        term_time, term_result = _timed(term_engine, query_id)
+        total_id += id_time
+        total_term += term_time
+        ratio = term_time / max(id_time, 1e-9)
+        print(
+            f"  {query_id:>3}: term={term_time:.3f}s id={id_time:.3f}s "
+            f"speedup={ratio:.1f}x rows={len(id_result)}"
+        )
+        # The representations must never change the result.
+        assert id_result.as_multiset() == term_result.as_multiset()
+
+    speedup = total_term / max(total_id, 1e-9)
+    print(
+        f"  mix: term={total_term:.2f}s id={total_id:.2f}s "
+        f"speedup={speedup:.1f}x"
+    )
+    if IDSPACE_BENCH_TRIPLES >= 25_000:
+        # Acceptance bar: the id-space pipeline at least halves the mix time.
+        assert speedup >= 2.0
+
+
+def test_idspace_point_lookup_stays_fast(benchmark, paired_engines):
+    """Q1 stays (near-)constant time on the id path — the native profile."""
+    id_engine, _term_engine = paired_engines
+    result = benchmark(lambda: id_engine.query(get_query("Q1").text))
+    assert len(result) == 1

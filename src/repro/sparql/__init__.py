@@ -15,6 +15,7 @@ from .engine import (
 )
 from .errors import EvaluationError, ExpressionError, SparqlError, SparqlSyntaxError
 from .evaluator import NESTED_LOOP, SCAN_HASH, Evaluator
+from .idspace import IdSpaceEvaluation, SlotBinding, SlotLayout
 from .optimizer import optimize, reorder_patterns
 from .parser import parse_query
 from .results import AskResult, SelectResult
@@ -26,6 +27,9 @@ __all__ = [
     "optimize",
     "reorder_patterns",
     "Evaluator",
+    "IdSpaceEvaluation",
+    "SlotLayout",
+    "SlotBinding",
     "NESTED_LOOP",
     "SCAN_HASH",
     "Binding",

@@ -15,7 +15,7 @@ from ..rdf.terms import Variable
 class Binding:
     """An immutable solution mapping from variable names to terms."""
 
-    __slots__ = ("_map",)
+    __slots__ = ("_map", "_hash")
 
     def __init__(self, mapping=None):
         normalized = {}
@@ -23,6 +23,7 @@ class Binding:
             for key, value in mapping.items():
                 normalized[_name(key)] = value
         object.__setattr__(self, "_map", normalized)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name, _value):
         raise AttributeError(f"Binding is immutable (tried to set {name})")
@@ -92,7 +93,14 @@ class Binding:
         return isinstance(other, Binding) and other._map == self._map
 
     def __hash__(self):
-        return hash(frozenset(self._map.items()))
+        # Bindings are immutable, so the (fairly expensive) frozenset hash is
+        # computed once on first use — DISTINCT and hash joins hash the same
+        # binding many times.
+        cached = self._hash
+        if cached is None:
+            cached = hash(frozenset(self._map.items()))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self):
         inner = ", ".join(f"?{k}={v}" for k, v in sorted(self._map.items()))

@@ -15,6 +15,7 @@ harness runs all of them and the ablation benches flip individual flags.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..rdf.graph import Graph
 from ..store.indexed_store import IndexedStore
@@ -37,6 +38,10 @@ class EngineConfig:
     push_filters: bool = True
     #: Reuse scan results of repeated triple patterns (Table II row 5).
     reuse_pattern_results: bool = False
+    #: Join over dictionary ids when the store supports it (None = auto).
+    #: Forcing False keeps an id-capable store on the term-space path, which
+    #: is what the id-space ablation benchmark measures against.
+    use_id_space: Optional[bool] = None
 
     def create_store(self):
         """Instantiate the storage backend this configuration asks for."""
@@ -134,6 +139,7 @@ class SparqlEngine:
             self.store,
             strategy=self.config.join_strategy,
             reuse_patterns=self.config.reuse_pattern_results,
+            use_id_space=self.config.use_id_space,
         )
         outcome = evaluator.evaluate(tree)
         if isinstance(parsed, AskQuery):

@@ -17,6 +17,24 @@ engine families the paper benchmarks:
     binding sets are hash-joined.  Every query therefore costs at least one
     full pass over the document — the "in-memory engines must always load and
     scan the document" behaviour discussed for ARQ and Sesame-memory.
+
+Orthogonal to the strategy, the evaluator picks one of two *solution
+representations* based on the store's capabilities (see DESIGN.md):
+
+* Stores advertising ``supports_id_access`` (the indexed "native engine"
+  model) are evaluated **in id space**: joins compare dictionary-encoded
+  integers in flat slot-addressed tuples and RDF terms are only materialized
+  at the result boundary.  The machinery lives in :mod:`.idspace`; this
+  module is its term-level twin and the facade (:class:`Evaluator`) that
+  dispatches between the two.
+* Scan-based stores keep the historical **term-space** path below, where
+  solutions are dict-backed :class:`~repro.sparql.bindings.Binding` objects —
+  deliberately so, because paying term-object costs per probe is part of the
+  in-memory-engine cost model the benchmark contrasts against.
+
+OPTIONAL is evaluated as a hash-based left outer join on both paths; the
+quadratic pairwise formulation survives only as a reference in the test
+suite.
 """
 
 from __future__ import annotations
@@ -28,9 +46,8 @@ from . import algebra
 from .bindings import EMPTY_BINDING, Binding
 from .errors import EvaluationError
 from .expressions import effective_boolean_value
+from .idspace import NESTED_LOOP, SCAN_HASH, IdSpaceEvaluation, reduce_numbers
 
-NESTED_LOOP = "nested_loop"
-SCAN_HASH = "scan_hash"
 _STRATEGIES = (NESTED_LOOP, SCAN_HASH)
 
 
@@ -46,27 +63,65 @@ class Evaluator:
     from the query itself (not from intermediate bindings).
     """
 
-    def __init__(self, store, strategy=NESTED_LOOP, reuse_patterns=False):
+    def __init__(self, store, strategy=NESTED_LOOP, reuse_patterns=False,
+                 use_id_space=None):
         if strategy not in _STRATEGIES:
             raise EvaluationError(f"unknown join strategy {strategy!r}")
+        supports_ids = getattr(store, "supports_id_access", False)
+        if use_id_space is None:
+            use_id_space = supports_ids
+        elif use_id_space and not supports_ids:
+            raise EvaluationError(
+                f"store {store!r} does not support id-space evaluation"
+            )
         self._store = store
         self._strategy = strategy
         self._reuse_patterns = reuse_patterns
+        self._use_id_space = bool(use_id_space)
         self._pattern_cache = {}
 
     # -- public API -----------------------------------------------------------
+
+    @property
+    def uses_id_space(self):
+        """True when this evaluator joins over dictionary ids."""
+        return self._use_id_space
 
     def evaluate(self, node):
         """Evaluate an algebra tree.
 
         Returns an iterator of :class:`Binding` for SELECT-shaped trees and a
-        bool for :class:`~repro.sparql.algebra.Ask` roots.
+        bool for :class:`~repro.sparql.algebra.Ask` roots.  On id-capable
+        stores the whole tree runs in id space and Bindings are materialized
+        only here, at the result boundary.
         """
+        if self._use_id_space:
+            run = self._id_space_run()
+            if isinstance(node, algebra.Ask):
+                return run.ask(node.operand)
+            return run.bindings(node)
         if isinstance(node, algebra.Ask):
             for _solution in self._eval(node.operand):
                 return True
             return False
         return self._eval(node)
+
+    def evaluate_ids(self, node):
+        """Evaluate a SELECT-shaped tree into raw id rows (no decoding).
+
+        Returns ``(layout, row_iterator)``; rows are flat tuples whose cells
+        are dictionary ids (or None for unbound slots).  Exposed for
+        benchmarks and the decode-counter tests; requires an id-capable store.
+        """
+        if not self._use_id_space:
+            raise EvaluationError("evaluate_ids() requires an id-capable store")
+        return self._id_space_run().solve(node)
+
+    def _id_space_run(self):
+        """A fresh per-evaluation id-space run (own caches and decode memo)."""
+        return IdSpaceEvaluation(
+            self._store, self._strategy, reuse_patterns=self._reuse_patterns
+        )
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -179,15 +234,38 @@ class Evaluator:
         return iter(_hash_join(left, right))
 
     def _eval_left_join(self, node):
+        """Hash-based left outer join (OPTIONAL).
+
+        Right solutions binding every shared variable are bucketed by their
+        join key, so each left solution meets only its hash bucket (plus the
+        unkeyed rows produced by nested OPTIONALs) instead of the whole right
+        side; left solutions with no surviving match pass through unchanged.
+        """
         left = list(self._eval(node.left))
         if not left:
             return iter(())
         right = list(self._eval(node.right))
         condition = node.condition
+        shared = _shared_variables(left, right)
+        keyed = {}
+        unkeyed = []
+        for right_binding in right:
+            key = _join_key(right_binding, shared)
+            if key is None:
+                unkeyed.append(right_binding)
+            else:
+                keyed.setdefault(key, []).append(right_binding)
         results = []
         for left_binding in left:
+            key = _join_key(left_binding, shared)
+            if key is None:
+                candidates = right
+            elif unkeyed:
+                candidates = keyed.get(key, []) + unkeyed
+            else:
+                candidates = keyed.get(key, ())
             matched = False
-            for right_binding in right:
+            for right_binding in candidates:
                 if not left_binding.compatible(right_binding):
                     continue
                 merged = left_binding.merge(right_binding)
@@ -232,11 +310,12 @@ class Evaluator:
 
     def _eval_distinct(self, node):
         def generate():
+            # Bindings hash (cached) and compare by their mapping, so they
+            # can be deduplicated directly.
             seen = set()
             for binding in self._eval(node.operand):
-                key = frozenset(binding.items())
-                if key not in seen:
-                    seen.add(key)
+                if binding not in seen:
+                    seen.add(binding)
                     yield binding
 
         return generate()
@@ -310,21 +389,7 @@ def _compute_aggregate(aggregate, bindings):
         if isinstance(python_value, bool) or not isinstance(python_value, (int, float)):
             continue
         numbers.append(python_value)
-    if not numbers:
-        return Literal(0)
-    if aggregate.function == "SUM":
-        result = sum(numbers)
-    elif aggregate.function == "AVG":
-        result = sum(numbers) / len(numbers)
-    elif aggregate.function == "MIN":
-        result = min(numbers)
-    elif aggregate.function == "MAX":
-        result = max(numbers)
-    else:
-        raise EvaluationError(f"unknown aggregate function {aggregate.function!r}")
-    if isinstance(result, float) and result.is_integer():
-        result = int(result)
-    return Literal(result)
+    return reduce_numbers(aggregate.function, numbers)
 
 
 # -- helpers shared by strategies --------------------------------------------------
@@ -369,13 +434,7 @@ def _hash_join(left, right):
     """
     if not left or not right:
         return []
-    left_vars = set()
-    for binding in left:
-        left_vars |= binding.variables()
-    right_vars = set()
-    for binding in right:
-        right_vars |= binding.variables()
-    shared = tuple(sorted(left_vars & right_vars))
+    shared = _shared_variables(left, right)
     results = []
     if not shared:
         for left_binding in left:
@@ -406,6 +465,17 @@ def _hash_join(left, right):
                 if left_binding.compatible(right_binding):
                     results.append(left_binding.merge(right_binding))
     return results
+
+
+def _shared_variables(left, right):
+    """Variable names that can be bound on both sides of a join."""
+    left_vars = set()
+    for binding in left:
+        left_vars |= binding.variables()
+    right_vars = set()
+    for binding in right:
+        right_vars |= binding.variables()
+    return tuple(sorted(left_vars & right_vars))
 
 
 def _join_key(binding, shared):

@@ -1,0 +1,757 @@
+"""Id-space query evaluation: join on dictionary ids, decode at the boundary.
+
+The paper's native engines (Sesame-native, Virtuoso) are fast because their
+join loops compare small fixed-size integers from physical indexes and only
+materialize RDF terms for final results.  This module gives our evaluator the
+same execution model on top of stores that advertise
+``supports_id_access`` (:class:`~repro.store.IndexedStore`):
+
+* :class:`SlotLayout` compiles one algebra tree into a variable -> column
+  mapping; every intermediate solution is then a flat tuple of that width
+  whose cells are ``None`` (unbound), an ``int`` (a dictionary id), or — only
+  above GROUP BY — a computed RDF term.
+* Query constants are encoded exactly once per evaluation; a constant the
+  dictionary has never seen short-circuits its whole basic graph pattern to
+  the empty result without touching an index.
+* Both BGP strategies work on id rows: ``nested_loop`` probes
+  ``triples_ids`` with already-encoded components, ``scan_hash`` hash-joins
+  pattern scans on their shared slot columns.  OPTIONAL is a hash-based left
+  outer join on the statically shared slots.
+* Terms are reconstructed lazily and memoized per id: FILTER / ORDER BY /
+  aggregate evaluation decodes only the columns it actually touches (through
+  :class:`SlotBinding`), and full :class:`~repro.sparql.bindings.Binding`
+  objects exist only once rows cross the result boundary.
+
+Nothing in this module mutates the store or its dictionary; a fresh
+:class:`IdSpaceEvaluation` is created per query evaluation, so decode memos
+and pattern caches can never go stale.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+from ..rdf.terms import Literal, Variable, term_sort_key
+from . import algebra, ast
+from .bindings import Binding
+from .errors import EvaluationError
+from .expressions import effective_boolean_value
+
+#: Join strategy names shared with (and re-exported by) the evaluator facade.
+NESTED_LOOP = "nested_loop"
+SCAN_HASH = "scan_hash"
+
+
+def _name(variable):
+    if isinstance(variable, Variable):
+        return variable.name
+    return str(variable).lstrip("?$")
+
+
+class SlotLayout:
+    """Variable -> column mapping for one query's flat solution rows."""
+
+    __slots__ = ("names", "_slots")
+
+    def __init__(self, names):
+        self.names = tuple(names)
+        self._slots = {name: index for index, name in enumerate(self.names)}
+
+    @classmethod
+    def for_tree(cls, tree):
+        """Collect every variable the tree can bind, in first-seen order.
+
+        Triple-pattern variables come from BGP nodes; GROUP BY additionally
+        introduces its aggregate aliases.  Variables that appear only in
+        expressions need no column — they can never be bound.
+        """
+        names = []
+        seen = set()
+
+        def note(variable):
+            name = _name(variable)
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+
+        for node in algebra.walk(tree):
+            if isinstance(node, algebra.BGP):
+                for pattern in node.patterns:
+                    for term in pattern:
+                        if isinstance(term, Variable):
+                            note(term)
+            elif isinstance(node, algebra.Group):
+                for variable in node.group_vars:
+                    note(variable)
+                for aggregate in node.aggregates:
+                    note(aggregate.alias)
+        return cls(names)
+
+    @property
+    def width(self):
+        return len(self.names)
+
+    def slot(self, variable):
+        """Column index for a variable (or name), or None if it has no column."""
+        return self._slots.get(_name(variable))
+
+    def empty_row(self):
+        return (None,) * len(self.names)
+
+    def __repr__(self):
+        return f"SlotLayout({', '.join(self.names)})"
+
+
+class SlotBinding:
+    """A read-only Binding-compatible view over one id row.
+
+    FILTER expressions and ORDER BY comparators only need ``get`` /
+    ``is_bound``; serving them straight from the row avoids building a dict
+    per intermediate solution, and decoding happens only for the variables an
+    expression actually asks for (memoized per id by the owning evaluation).
+    """
+
+    __slots__ = ("_row", "_layout", "_cell_term")
+
+    def __init__(self, row, layout, cell_term):
+        self._row = row
+        self._layout = layout
+        self._cell_term = cell_term
+
+    def get(self, variable, default=None):
+        slot = self._layout.slot(variable)
+        if slot is None:
+            return default
+        cell = self._row[slot]
+        if cell is None:
+            return default
+        return self._cell_term(cell)
+
+    def is_bound(self, variable):
+        slot = self._layout.slot(variable)
+        return slot is not None and self._row[slot] is not None
+
+    def variables(self):
+        return {
+            name
+            for name, cell in zip(self._layout.names, self._row)
+            if cell is not None
+        }
+
+    def __contains__(self, variable):
+        return self.is_bound(variable)
+
+    def __repr__(self):
+        inner = ", ".join(
+            f"?{name}={cell!r}"
+            for name, cell in zip(self._layout.names, self._row)
+            if cell is not None
+        )
+        return f"SlotBinding({inner})"
+
+
+class IdSpaceEvaluation:
+    """One query evaluation over id rows; see the module docstring.
+
+    ``solve`` returns ``(layout, row_iterator)`` without any decoding —
+    benchmarks and the decode-counter tests consume rows at this level.
+    ``bindings`` wraps ``solve`` and materializes term-level
+    :class:`Binding` objects, the result-boundary decode.
+    """
+
+    def __init__(self, store, strategy=NESTED_LOOP, reuse_patterns=False):
+        if not getattr(store, "supports_id_access", False):
+            raise EvaluationError(
+                f"store {store!r} does not support id-space evaluation"
+            )
+        self._store = store
+        self._dictionary = store.dictionary
+        self._strategy = strategy
+        self._reuse_patterns = reuse_patterns
+        self._pattern_cache = {}
+        self._term_memo = {}
+        self._layout = None
+
+    # -- public API ---------------------------------------------------------
+
+    def solve(self, tree):
+        """Evaluate a SELECT-shaped algebra tree into (layout, id rows)."""
+        if isinstance(tree, algebra.Ask):
+            raise EvaluationError("solve() takes the Ask operand, not the Ask node")
+        self._layout = SlotLayout.for_tree(tree)
+        return self._layout, self._eval(tree)
+
+    def ask(self, tree):
+        """Existence test: True as soon as one solution row exists."""
+        _layout, rows = self.solve(tree)
+        for _row in rows:
+            return True
+        return False
+
+    def bindings(self, tree):
+        """Evaluate and materialize term-level Bindings (the result boundary)."""
+        layout, rows = self.solve(tree)
+        return self.materialize(layout, rows)
+
+    def materialize(self, layout, rows):
+        """Decode finished id rows into :class:`Binding` objects."""
+        names = layout.names
+        cell_term = self.cell_term
+        for row in rows:
+            yield Binding(
+                {
+                    name: cell_term(cell)
+                    for name, cell in zip(names, row)
+                    if cell is not None
+                }
+            )
+
+    def cell_term(self, cell):
+        """The RDF term for one row cell, memoized per dictionary id."""
+        if not isinstance(cell, int):
+            return cell
+        term = self._term_memo.get(cell)
+        if term is None:
+            term = self._dictionary.decode(cell)
+            self._term_memo[cell] = term
+        return term
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _eval(self, node):
+        if isinstance(node, algebra.BGP):
+            return self._eval_bgp(node)
+        if isinstance(node, algebra.Join):
+            return self._eval_join(node)
+        if isinstance(node, algebra.LeftJoin):
+            return self._eval_left_join(node)
+        if isinstance(node, algebra.Union):
+            return self._eval_union(node)
+        if isinstance(node, algebra.Filter):
+            return self._eval_filter(node)
+        if isinstance(node, algebra.Project):
+            return self._eval_project(node)
+        if isinstance(node, algebra.Distinct):
+            return self._eval_distinct(node)
+        if isinstance(node, algebra.OrderBy):
+            return self._eval_order_by(node)
+        if isinstance(node, algebra.Slice):
+            return self._eval_slice(node)
+        if isinstance(node, algebra.Group):
+            return self._eval_group(node)
+        raise EvaluationError(f"cannot evaluate algebra node {node!r}")
+
+    def _node_slots(self, node):
+        """Slots of every variable an algebra subtree can bind."""
+        slots = set()
+        for variable in node.variables():
+            slot = self._layout.slot(variable)
+            if slot is not None:
+                slots.add(slot)
+        return slots
+
+    def _ebv(self, expression, row):
+        return effective_boolean_value(
+            expression, SlotBinding(row, self._layout, self.cell_term)
+        )
+
+    # -- basic graph patterns -----------------------------------------------
+
+    def _compile_patterns(self, patterns):
+        """Encode each pattern to ((is_var, slot-or-id), ...) triples.
+
+        Constants go through the dictionary exactly once per evaluation.
+        Returns None when any constant is unknown to the store — no triple
+        can match, so the whole BGP is empty (the short-circuit that makes
+        Q3c-style queries constant time).
+        """
+        lookup = self._dictionary.lookup
+        slot_of = self._layout.slot
+        compiled = []
+        for pattern in patterns:
+            parts = []
+            for term in pattern:
+                if isinstance(term, Variable):
+                    parts.append((True, slot_of(term)))
+                else:
+                    term_id = lookup(term)
+                    if term_id is None:
+                        return None
+                    parts.append((False, term_id))
+            compiled.append(tuple(parts))
+        return compiled
+
+    def _eval_bgp(self, node):
+        if not node.patterns:
+            return iter((self._layout.empty_row(),))
+        compiled = self._compile_patterns(node.patterns)
+        if compiled is None:
+            return iter(())
+        if self._strategy == NESTED_LOOP:
+            return self._bgp_nested_loop(node, compiled)
+        return self._bgp_scan_hash(node, compiled)
+
+    def _bgp_nested_loop(self, node, compiled):
+        rows = iter((self._layout.empty_row(),))
+        for position, cpattern in enumerate(compiled):
+            rows = self._extend_rows(rows, cpattern)
+            for expression in node.filters_at(position):
+                rows = self._filter_rows(rows, expression)
+        return rows
+
+    def _extend_rows(self, rows, cpattern):
+        """Index nested-loop step: probe the store once per current row."""
+        triples_ids = self._store.triples_ids
+        (s_var, s_ref), (p_var, p_ref), (o_var, o_ref) = cpattern
+        for row in rows:
+            s = row[s_ref] if s_var else s_ref
+            p = row[p_ref] if p_var else p_ref
+            o = row[o_ref] if o_var else o_ref
+            for ids in triples_ids(s, p, o):
+                extended = _bind_ids(row, cpattern, ids)
+                if extended is not None:
+                    yield extended
+
+    def _filter_rows(self, rows, expression):
+        for row in rows:
+            if self._ebv(expression, row):
+                yield row
+
+    def _bgp_scan_hash(self, node, compiled):
+        layout = self._layout
+        empty = layout.empty_row()
+        solutions = [empty]
+        bound_slots = set()
+        for position, cpattern in enumerate(compiled):
+            pattern_rows = []
+            for ids in self._scan_ids(cpattern):
+                row = _bind_ids(empty, cpattern, ids)
+                if row is not None:
+                    pattern_rows.append(row)
+            pattern_slots = {ref for is_var, ref in cpattern if is_var}
+            solutions = _join_rows(solutions, pattern_rows, bound_slots & pattern_slots)
+            bound_slots |= pattern_slots
+            for expression in node.filters_at(position):
+                solutions = [row for row in solutions if self._ebv(expression, row)]
+            if not solutions:
+                break
+        return iter(solutions)
+
+    def _scan_ids(self, cpattern):
+        """Scan one pattern against the whole store, optionally cached.
+
+        With pattern reuse enabled, repeated pattern shapes (Q4's doubled
+        article/creator/name chains, the repeated blocks of Q6/Q7/Q8) are
+        scanned once per evaluation and replayed from the cache.
+        """
+        pattern_key = tuple(None if is_var else ref for is_var, ref in cpattern)
+        if not self._reuse_patterns:
+            return self._store.triples_ids(*pattern_key)
+        cached = self._pattern_cache.get(pattern_key)
+        if cached is None:
+            cached = list(self._store.triples_ids(*pattern_key))
+            self._pattern_cache[pattern_key] = cached
+        return cached
+
+    # -- binary operators ----------------------------------------------------
+
+    def _eval_join(self, node):
+        left = list(self._eval(node.left))
+        if not left:
+            return iter(())
+        right = list(self._eval(node.right))
+        shared = self._node_slots(node.left) & self._node_slots(node.right)
+        return iter(_join_rows(left, right, shared))
+
+    def _eval_left_join(self, node):
+        """Hash-based left outer join (OPTIONAL).
+
+        The hash key combines the statically shared slots with any
+        value-equality conjuncts extracted from the join condition
+        (``FILTER (?author = ?author2 && ...)`` in Q6-style closed-world
+        negation joins on the equality, not on a shared variable) — native
+        engines turn exactly these theta-joins into equi-joins.  Only the
+        residual condition is evaluated per candidate pair.
+        """
+        left = list(self._eval(node.left))
+        if not left:
+            return iter(())
+        right = list(self._eval(node.right))
+        left_slots = self._node_slots(node.left)
+        right_slots = self._node_slots(node.right)
+        shared = tuple(sorted(left_slots & right_slots))
+        equi_left, equi_right, residual = self._split_equi_condition(
+            node.condition, left_slots, right_slots
+        )
+        value_key = self._value_key
+        keyed = {}
+        loose = []          # equi-eligible rows whose shared-slot key is incomplete
+        right_entries = []  # all equi-eligible rows, for unkeyed left rows
+        for row in right:
+            equi_key = _cells_key(row, equi_right, value_key)
+            if equi_key is None:
+                # An unbound equality column can never satisfy the condition.
+                continue
+            right_entries.append((row, equi_key))
+            shared_key = _row_key(row, shared)
+            if shared_key is None:
+                loose.append((row, equi_key))
+            else:
+                keyed.setdefault((shared_key, equi_key), []).append(row)
+        results = []
+        for left_row in left:
+            matched = False
+            equi_key = _cells_key(left_row, equi_left, value_key)
+            if equi_key is not None:
+                shared_key = _row_key(left_row, shared)
+                if shared_key is None:
+                    candidates = [
+                        row for row, key in right_entries if key == equi_key
+                    ]
+                elif loose:
+                    candidates = keyed.get((shared_key, equi_key), []) + [
+                        row for row, key in loose if key == equi_key
+                    ]
+                else:
+                    candidates = keyed.get((shared_key, equi_key), ())
+                for right_row in candidates:
+                    merged = _merge_compatible(left_row, right_row)
+                    if merged is None:
+                        continue
+                    if residual is not None and not self._ebv(residual, merged):
+                        continue
+                    results.append(merged)
+                    matched = True
+            if not matched:
+                results.append(left_row)
+        return iter(results)
+
+    def _split_equi_condition(self, condition, left_slots, right_slots):
+        """Split a LeftJoin condition into hash-key slot pairs + residual.
+
+        A conjunct ``?a = ?b`` where one variable can only be bound by the
+        left operand and the other only by the right becomes a
+        ``(left_slot, right_slot)`` key-column pair.  Everything else stays in
+        the residual condition (rebuilt as a conjunction, None when empty).
+        """
+        if condition is None:
+            return (), (), None
+        equi_left = []
+        equi_right = []
+        residual = []
+        for conjunct in _split_conjuncts(condition):
+            pair = self._equi_slots(conjunct, left_slots, right_slots)
+            if pair is None:
+                residual.append(conjunct)
+            else:
+                equi_left.append(pair[0])
+                equi_right.append(pair[1])
+        return tuple(equi_left), tuple(equi_right), _conjoin(residual)
+
+    def _equi_slots(self, conjunct, left_slots, right_slots):
+        if not (isinstance(conjunct, ast.Comparison) and conjunct.operator == "="):
+            return None
+        slots = []
+        for expression in (conjunct.left, conjunct.right):
+            if not (
+                isinstance(expression, ast.TermExpression)
+                and isinstance(expression.term, Variable)
+            ):
+                return None
+            slot = self._layout.slot(expression.term)
+            if slot is None:
+                return None
+            slots.append(slot)
+        a, b = slots
+        if a in left_slots and b in right_slots and a not in right_slots and b not in left_slots:
+            return (a, b)
+        if b in left_slots and a in right_slots and b not in right_slots and a not in left_slots:
+            return (b, a)
+        return None
+
+    def _value_key(self, cell):
+        """Canonical hash key under SPARQL ``=`` (value) equality.
+
+        Two cells get the same key exactly when :func:`expressions._equals`
+        holds for their terms: numeric literals compare by value across
+        datatypes, language-free string-valued literals by their string
+        value, and everything else (URIs, blank nodes, language-tagged or
+        boolean literals) by term identity.  Pairs ``_equals`` would reject
+        with a type error land in different key classes, matching the
+        condition evaluating to false.
+        """
+        term = self.cell_term(cell)
+        if isinstance(term, Literal) and term.language is None:
+            value = term.to_python()
+            if isinstance(value, bool):
+                return ("term", term)
+            if isinstance(value, (int, float)):
+                return ("num", float(value))
+            if isinstance(value, str):
+                return ("str", value)
+        return ("term", term)
+
+    def _eval_union(self, node):
+        def generate():
+            yield from self._eval(node.left)
+            yield from self._eval(node.right)
+
+        return generate()
+
+    def _eval_filter(self, node):
+        return self._filter_rows(self._eval(node.operand), node.expression)
+
+    # -- solution modifiers --------------------------------------------------
+
+    def _eval_project(self, node):
+        rows = self._eval(node.operand)
+        if node.projection is None:
+            return rows
+        layout = self._layout
+        keep = set()
+        for variable in node.projection:
+            slot = layout.slot(variable)
+            if slot is not None:
+                keep.add(slot)
+
+        def generate():
+            for row in rows:
+                yield tuple(
+                    cell if index in keep else None
+                    for index, cell in enumerate(row)
+                )
+
+        return generate()
+
+    def _eval_distinct(self, node):
+        def generate():
+            seen = set()
+            for row in self._eval(node.operand):
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+
+        return generate()
+
+    def _eval_order_by(self, node):
+        rows = list(self._eval(node.operand))
+        cell_term = self.cell_term
+        # Apply conditions right-to-left so the first condition dominates
+        # (stable sort composition); only the sorted columns are decoded.
+        for variable, ascending in reversed(node.conditions):
+            slot = self._layout.slot(variable)
+            if slot is None:
+                continue
+            rows.sort(
+                key=lambda row, slot=slot: term_sort_key(cell_term(row[slot])),
+                reverse=not ascending,
+            )
+        return iter(rows)
+
+    def _eval_slice(self, node):
+        start = node.offset or 0
+        stop = None if node.limit is None else start + node.limit
+        return islice(self._eval(node.operand), start, stop)
+
+    def _eval_group(self, node):
+        """GROUP BY partitioning plus aggregates, grouping on raw ids.
+
+        Group keys compare ids (the dictionary is injective, so id equality
+        is term equality); only SUM/AVG/MIN/MAX decode the aggregated column.
+        Aggregate results are computed terms and live in their alias column
+        as terms, not ids — they never existed in the store's dictionary.
+        """
+        layout = self._layout
+        group_slots = tuple(layout.slot(variable) for variable in node.group_vars)
+        groups = {}
+        for row in self._eval(node.operand):
+            key = tuple(
+                None if slot is None else row[slot] for slot in group_slots
+            )
+            groups.setdefault(key, []).append(row)
+        if not groups and not node.group_vars:
+            # Aggregates over an empty solution sequence still yield one row
+            # (COUNT() = 0), matching SQL/SPARQL 1.1 behaviour.
+            groups[()] = []
+        results = []
+        for key, members in groups.items():
+            out = [None] * layout.width
+            for slot, cell in zip(group_slots, key):
+                if slot is not None and cell is not None:
+                    out[slot] = cell
+            for aggregate in node.aggregates:
+                alias_slot = layout.slot(aggregate.alias)
+                if alias_slot is not None:
+                    out[alias_slot] = self._compute_aggregate(aggregate, members)
+            results.append(tuple(out))
+        return iter(results)
+
+    def _compute_aggregate(self, aggregate, rows):
+        if aggregate.variable is None:
+            return Literal(len(rows))
+        slot = self._layout.slot(aggregate.variable)
+        if slot is None:
+            cells = []
+        else:
+            cells = [row[slot] for row in rows if row[slot] is not None]
+        if aggregate.distinct:
+            seen = set()
+            distinct = []
+            for cell in cells:
+                if cell not in seen:
+                    seen.add(cell)
+                    distinct.append(cell)
+            cells = distinct
+        if aggregate.function == "COUNT":
+            return Literal(len(cells))
+        numbers = []
+        for cell in cells:
+            term = self.cell_term(cell)
+            value = term.to_python() if isinstance(term, Literal) else None
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            numbers.append(value)
+        return reduce_numbers(aggregate.function, numbers)
+
+
+# -- aggregation helper shared with the term-space evaluator -------------------
+
+
+def reduce_numbers(function, numbers):
+    """SUM/AVG/MIN/MAX over extracted python numbers, as an RDF literal."""
+    if not numbers:
+        return Literal(0)
+    if function == "SUM":
+        result = sum(numbers)
+    elif function == "AVG":
+        result = sum(numbers) / len(numbers)
+    elif function == "MIN":
+        result = min(numbers)
+    elif function == "MAX":
+        result = max(numbers)
+    else:
+        raise EvaluationError(f"unknown aggregate function {function!r}")
+    if isinstance(result, float) and result.is_integer():
+        result = int(result)
+    return Literal(result)
+
+
+# -- condition decomposition ---------------------------------------------------
+
+
+def _split_conjuncts(expression):
+    """Flatten nested ``&&`` expressions into a list of conjuncts."""
+    if isinstance(expression, ast.And):
+        return _split_conjuncts(expression.left) + _split_conjuncts(expression.right)
+    return [expression]
+
+
+def _conjoin(conjuncts):
+    if not conjuncts:
+        return None
+    condition = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        condition = ast.And(condition, conjunct)
+    return condition
+
+
+def _cells_key(row, slots, value_key):
+    """Composite value key over the given slots; None if any is unbound."""
+    key = []
+    for slot in slots:
+        cell = row[slot]
+        if cell is None:
+            return None
+        key.append(value_key(cell))
+    return tuple(key)
+
+
+# -- row algebra ----------------------------------------------------------------
+
+
+def _bind_ids(row, cpattern, ids):
+    """Extend an id row so that a compiled pattern maps onto an id triple.
+
+    Returns None when the triple conflicts with a repeated variable in the
+    pattern; components the probe already constrained are skipped for free.
+    """
+    updated = None
+    for (is_var, ref), value in zip(cpattern, ids):
+        if not is_var:
+            continue
+        current = row[ref] if updated is None else updated[ref]
+        if current is None:
+            if updated is None:
+                updated = list(row)
+            updated[ref] = value
+        elif current != value:
+            return None
+    if updated is None:
+        return row
+    return tuple(updated)
+
+
+def _row_key(row, shared_slots):
+    """Join key over the shared slots, or None if any of them is unbound."""
+    key = []
+    for slot in shared_slots:
+        value = row[slot]
+        if value is None:
+            return None
+        key.append(value)
+    return tuple(key)
+
+
+def _merge_compatible(left_row, right_row):
+    """Cell-wise union of two rows, or None when any column disagrees."""
+    merged = []
+    for a, b in zip(left_row, right_row):
+        if a is None:
+            merged.append(b)
+        elif b is None or a == b:
+            merged.append(a)
+        else:
+            return None
+    return tuple(merged)
+
+
+def _join_rows(left, right, shared_slots):
+    """Hash join two row lists on the given shared slot columns.
+
+    Rows with every shared slot bound meet through a hash table; rows with
+    unbound shared slots (possible after OPTIONAL) fall back to pairwise
+    compatibility checks, mirroring the term-space join semantics.
+    """
+    if not left or not right:
+        return []
+    if not shared_slots:
+        results = []
+        for left_row in left:
+            for right_row in right:
+                merged = _merge_compatible(left_row, right_row)
+                if merged is not None:
+                    results.append(merged)
+        return results
+    shared = tuple(sorted(shared_slots))
+    keyed = {}
+    unkeyed = []
+    for row in right:
+        key = _row_key(row, shared)
+        if key is None:
+            unkeyed.append(row)
+        else:
+            keyed.setdefault(key, []).append(row)
+    results = []
+    for left_row in left:
+        key = _row_key(left_row, shared)
+        if key is None:
+            candidates = right
+        elif unkeyed:
+            candidates = keyed.get(key, []) + unkeyed
+        else:
+            candidates = keyed.get(key, ())
+        for right_row in candidates:
+            merged = _merge_compatible(left_row, right_row)
+            if merged is not None:
+                results.append(merged)
+    return results

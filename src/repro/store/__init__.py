@@ -1,4 +1,13 @@
-"""Triple-storage substrate: unindexed and indexed stores plus statistics."""
+"""Triple-storage substrate: unindexed and indexed stores plus statistics.
+
+Two backends model the paper's two engine families.  :class:`MemoryStore`
+answers every pattern by scanning (the in-memory engine model).
+:class:`IndexedStore` dictionary-encodes terms to integers and answers
+patterns from six hash indexes; it additionally exposes an id-level access
+interface (``encode_pattern`` / ``triples_ids`` / ``count_ids``, advertised
+via ``supports_id_access``) that the id-space SPARQL evaluator joins over
+without decoding — the native-engine model.  See DESIGN.md.
+"""
 
 from .base import TripleStore
 from .dictionary import TermDictionary

@@ -19,9 +19,19 @@ class TripleStore(abc.ABC):
     #: Human-readable backend name used in benchmark reports.
     name = "abstract"
 
+    #: True when the backend additionally offers the id-level access interface
+    #: (``encode_pattern`` / ``triples_ids`` / ``count_ids`` plus a
+    #: ``dictionary`` property).  The SPARQL evaluator checks this capability
+    #: to decide between id-space and term-space query execution.
+    supports_id_access = False
+
     @abc.abstractmethod
     def add(self, triple):
         """Add one ground triple.  Returns True if it was new."""
+
+    def remove(self, triple):
+        """Remove one ground triple.  Returns True if it was present."""
+        raise NotImplementedError(f"{type(self).__name__} does not support removal")
 
     @abc.abstractmethod
     def triples(self, subject=None, predicate=None, object=None):

@@ -2,10 +2,15 @@
 
 Native RDF stores (the paper cites Sesame's native SAIL and Virtuoso)
 dictionary-encode terms so that index entries are small fixed-size integers.
-:class:`TermDictionary` provides the same service for :class:`IndexedStore`.
-Identifiers are assigned in first-seen order, which keeps encoding
-deterministic for a deterministic input stream — a property the round-trip
-and determinism tests rely on.
+:class:`TermDictionary` provides the same service for :class:`IndexedStore`,
+and its ids double as the join currency of the id-space evaluator
+(:mod:`repro.sparql.idspace`): the mapping is injective, so id equality is
+term equality inside join loops, and ``decode`` is deferred to the result
+boundary (memoized per id by each evaluation).  Ids are stable for the
+lifetime of the store — removals never recycle them — which is what makes
+that memoization safe.  Identifiers are assigned in first-seen order, which
+keeps encoding deterministic for a deterministic input stream — a property
+the round-trip and determinism tests rely on.
 """
 
 from __future__ import annotations

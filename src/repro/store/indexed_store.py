@@ -1,10 +1,9 @@
 """Dictionary-encoded, fully indexed triple store (the "native engine" model).
 
 The paper's native engines (Sesame with the native SAIL, Virtuoso) answer
-triple patterns from physical index structures, which is what lets them
-evaluate Q1, Q3c, Q10, Q11, and Q12c in (near-)constant time regardless of
-document size.  :class:`IndexedStore` reproduces that access-path profile in
-pure Python:
+triple patterns from physical index structures and *join over dictionary ids*,
+materializing RDF terms only for final results.  :class:`IndexedStore`
+reproduces both halves of that design in pure Python:
 
 * all terms are dictionary-encoded to integers (:mod:`.dictionary`),
 * triples are stored once as id-triples,
@@ -12,6 +11,21 @@ pure Python:
   matching triple positions, so every possible binding combination of a
   triple pattern has a direct access path,
 * per-predicate and per-class statistics are maintained for the optimizer.
+
+Two access levels are exposed:
+
+``triples()`` / ``count()``
+    The term-level :class:`~repro.store.base.TripleStore` interface: patterns
+    are encoded on the way in and every matching id-triple is decoded back to
+    a :class:`~repro.rdf.triple.Triple` on the way out.
+
+``encode_pattern()`` / ``triples_ids()`` / ``count_ids()``
+    The id-level interface used by the id-space query evaluator
+    (:mod:`repro.sparql.idspace`): the caller encodes its constants once,
+    probes the indexes with raw integers, and receives raw id 3-tuples with
+    **no decoding at all** — terms are only reconstructed at the result
+    boundary.  ``supports_id_access`` advertises this capability so the
+    evaluator can keep scan-based stores on the term-level path.
 """
 
 from __future__ import annotations
@@ -21,11 +35,17 @@ from .base import TripleStore
 from .dictionary import TermDictionary
 from .statistics import StoreStatistics
 
+#: Shared empty set returned for index misses (never mutated).
+_EMPTY = frozenset()
+
 
 class IndexedStore(TripleStore):
     """A hash-indexed triple store with dictionary encoding."""
 
     name = "indexed"
+
+    #: Id-level access (``triples_ids`` & friends) is available.
+    supports_id_access = True
 
     def __init__(self, triples=None):
         self._dictionary = TermDictionary()
@@ -61,10 +81,44 @@ class IndexedStore(TripleStore):
         self.statistics.observe(triple)
         return True
 
-    # -- lookup ---------------------------------------------------------------
+    def remove(self, triple):
+        """Remove a triple if present; returns True when removed.
 
-    def _encode_pattern(self, subject, predicate, object):
-        """Encode bound pattern positions; returns None if a bound term is unknown."""
+        All six indexes and the store statistics are maintained; empty index
+        buckets are dropped so lookups of fully removed keys stay O(1).
+        Dictionary entries are intentionally kept — ids are stable for the
+        lifetime of the store, which is what lets id-space evaluation cache
+        decoded terms safely.
+        """
+        encoded = self.encode_pattern(triple.subject, triple.predicate, triple.object)
+        if encoded is None or encoded not in self._spo:
+            return False
+        self._spo.discard(encoded)
+        s, p, o = encoded
+        for index, key in (
+            (self._by_s, s),
+            (self._by_p, p),
+            (self._by_o, o),
+            (self._by_sp, (s, p)),
+            (self._by_po, (p, o)),
+            (self._by_so, (s, o)),
+        ):
+            bucket = index[key]
+            bucket.discard(encoded)
+            if not bucket:
+                del index[key]
+        self.statistics.forget(triple)
+        return True
+
+    # -- id-level access ----------------------------------------------------
+
+    def encode_pattern(self, subject, predicate, object):
+        """Encode bound pattern positions; returns None if a bound term is unknown.
+
+        ``None`` positions stay ``None`` (wildcards).  A ``None`` return means
+        the pattern cannot match anything in this store — callers short-circuit
+        to an empty result without touching any index.
+        """
         encoded = []
         for term in (subject, predicate, object):
             if term is None:
@@ -76,26 +130,40 @@ class IndexedStore(TripleStore):
             encoded.append(term_id)
         return tuple(encoded)
 
+    def triples_ids(self, subject=None, predicate=None, object=None):
+        """Yield raw id 3-tuples matching an already-encoded pattern.
+
+        Arguments are dictionary ids (or ``None`` wildcards); nothing is
+        decoded.  This is the join-loop access path of the id-space evaluator.
+        """
+        return iter(self._candidates(subject, predicate, object))
+
+    def count_ids(self, subject=None, predicate=None, object=None):
+        """Number of triples matching an already-encoded pattern (no decode)."""
+        return len(self._candidates(subject, predicate, object))
+
     def _candidates(self, s, p, o):
         """Return the candidate id-triple set for an encoded pattern."""
         if s is not None and p is not None and o is not None:
-            return {(s, p, o)} if (s, p, o) in self._spo else set()
+            return {(s, p, o)} if (s, p, o) in self._spo else _EMPTY
         if s is not None and p is not None:
-            return self._by_sp.get((s, p), set())
+            return self._by_sp.get((s, p), _EMPTY)
         if p is not None and o is not None:
-            return self._by_po.get((p, o), set())
+            return self._by_po.get((p, o), _EMPTY)
         if s is not None and o is not None:
-            return self._by_so.get((s, o), set())
+            return self._by_so.get((s, o), _EMPTY)
         if s is not None:
-            return self._by_s.get(s, set())
+            return self._by_s.get(s, _EMPTY)
         if p is not None:
-            return self._by_p.get(p, set())
+            return self._by_p.get(p, _EMPTY)
         if o is not None:
-            return self._by_o.get(o, set())
+            return self._by_o.get(o, _EMPTY)
         return self._spo
 
+    # -- term-level lookup --------------------------------------------------
+
     def triples(self, subject=None, predicate=None, object=None):
-        encoded = self._encode_pattern(subject, predicate, object)
+        encoded = self.encode_pattern(subject, predicate, object)
         if encoded is None:
             return
         decode = self._dictionary.decode
@@ -103,13 +171,13 @@ class IndexedStore(TripleStore):
             yield Triple(decode(s_id), decode(p_id), decode(o_id))
 
     def contains(self, triple):
-        encoded = self._encode_pattern(triple.subject, triple.predicate, triple.object)
+        encoded = self.encode_pattern(triple.subject, triple.predicate, triple.object)
         if encoded is None:
             return False
         return encoded in self._spo
 
     def count(self, subject=None, predicate=None, object=None):
-        encoded = self._encode_pattern(subject, predicate, object)
+        encoded = self.encode_pattern(subject, predicate, object)
         if encoded is None:
             return 0
         return len(self._candidates(*encoded))
@@ -121,7 +189,7 @@ class IndexedStore(TripleStore):
         the index sizes (constant time); everything else falls back to the
         statistics-based estimate.
         """
-        encoded = self._encode_pattern(subject, predicate, object)
+        encoded = self.encode_pattern(subject, predicate, object)
         if encoded is None:
             return 0
         s, p, o = encoded
@@ -134,7 +202,7 @@ class IndexedStore(TripleStore):
 
     @property
     def dictionary(self):
-        """The term dictionary (exposed for white-box tests)."""
+        """The term dictionary (id-space evaluation and white-box tests)."""
         return self._dictionary
 
     def __repr__(self):

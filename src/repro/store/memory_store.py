@@ -2,9 +2,13 @@
 
 Every triple-pattern lookup is a linear scan over the full document, which is
 what makes the in-memory engines of the paper (ARQ, Sesame-memory) scale with
-document size even for highly selective queries like Q1 or Q12c.  A small
-duplicate-detection set is kept so that loading is idempotent, but no access
-path other than the scan exists.
+document size even for highly selective queries like Q1 or Q12c.  The triples
+live in one insertion-ordered dict used simultaneously as scan sequence and
+duplicate-detection set, so ``add``/``remove``/``contains`` are O(1) while the
+only *pattern* access path remains the scan.  This store deliberately does not
+implement the id-level access interface (``supports_id_access`` stays False):
+the SPARQL evaluator keeps it on the term-level path, preserving the
+in-memory-engine cost model.
 """
 
 from __future__ import annotations
@@ -13,29 +17,27 @@ from .base import TripleStore
 
 
 class MemoryStore(TripleStore):
-    """A list-backed store answering patterns by scanning."""
+    """A scan-based store answering patterns by iterating all triples."""
 
     name = "memory"
 
     def __init__(self, triples=None):
-        self._triples = []
-        self._seen = set()
+        # Insertion-ordered dict doubling as ordered sequence and membership set.
+        self._triples = {}
         if triples is not None:
             self.load_graph(triples)
 
     def add(self, triple):
-        if triple in self._seen:
+        if triple in self._triples:
             return False
-        self._seen.add(triple)
-        self._triples.append(triple)
+        self._triples[triple] = None
         return True
 
     def remove(self, triple):
-        """Remove a triple if present; returns True when removed."""
-        if triple not in self._seen:
+        """Remove a triple if present; returns True when removed.  O(1)."""
+        if triple not in self._triples:
             return False
-        self._seen.discard(triple)
-        self._triples.remove(triple)
+        del self._triples[triple]
         return True
 
     def triples(self, subject=None, predicate=None, object=None):
@@ -49,7 +51,7 @@ class MemoryStore(TripleStore):
             yield triple
 
     def contains(self, triple):
-        return triple in self._seen
+        return triple in self._triples
 
     def __len__(self):
         return len(self._triples)

@@ -19,7 +19,12 @@ _RDF_TYPE = RDF.type
 
 
 class StoreStatistics:
-    """Incremental counts maintained while triples are added to a store."""
+    """Incremental counts maintained while triples are added to a store.
+
+    The distinct-subject/object structures are reference-counted (term ->
+    occurrence count) rather than plain sets so that :meth:`forget` can
+    maintain them exactly when triples are removed.
+    """
 
     def __init__(self):
         self.triple_count = 0
@@ -33,10 +38,30 @@ class StoreStatistics:
         self.triple_count += 1
         predicate = triple.predicate
         self.predicate_counts[predicate] = self.predicate_counts.get(predicate, 0) + 1
-        self._predicate_subjects.setdefault(predicate, set()).add(triple.subject)
-        self._predicate_objects.setdefault(predicate, set()).add(triple.object)
+        subjects = self._predicate_subjects.setdefault(predicate, {})
+        subjects[triple.subject] = subjects.get(triple.subject, 0) + 1
+        objects = self._predicate_objects.setdefault(predicate, {})
+        objects[triple.object] = objects.get(triple.object, 0) + 1
         if predicate == _RDF_TYPE:
             self.class_counts[triple.object] = self.class_counts.get(triple.object, 0) + 1
+
+    def forget(self, triple):
+        """Record one removed triple (exact inverse of :meth:`observe`)."""
+        self.triple_count -= 1
+        predicate = triple.predicate
+        _decrement(self.predicate_counts, predicate)
+        subjects = self._predicate_subjects.get(predicate)
+        if subjects is not None:
+            _decrement(subjects, triple.subject)
+            if not subjects:
+                del self._predicate_subjects[predicate]
+        objects = self._predicate_objects.get(predicate)
+        if objects is not None:
+            _decrement(objects, triple.object)
+            if not objects:
+                del self._predicate_objects[predicate]
+        if predicate == _RDF_TYPE:
+            _decrement(self.class_counts, triple.object)
 
     # -- accessors ---------------------------------------------------------
 
@@ -104,3 +129,12 @@ class StoreStatistics:
             f"StoreStatistics(triples={self.triple_count}, "
             f"predicates={len(self.predicate_counts)}, classes={len(self.class_counts)})"
         )
+
+
+def _decrement(counter, key):
+    """Decrease ``counter[key]`` by one, dropping the entry at zero."""
+    remaining = counter.get(key, 0) - 1
+    if remaining > 0:
+        counter[key] = remaining
+    else:
+        counter.pop(key, None)

@@ -90,6 +90,18 @@ class TestEqualityAndHashing:
         solutions = {Binding({"x": A}), Binding({"x": A}), Binding({"x": B})}
         assert len(solutions) == 2
 
+    def test_hash_is_computed_once_and_cached(self):
+        binding = Binding({"x": A})
+        first = hash(binding)
+        # The cached value is stored on the instance and reused afterwards.
+        assert object.__getattribute__(binding, "_hash") == first
+        assert hash(binding) == first
+
+    def test_cached_hash_matches_fresh_equal_binding(self):
+        binding = Binding({"x": A, "y": B})
+        hash(binding)
+        assert hash(binding) == hash(Binding({"y": B, "x": A}))
+
     def test_len(self):
         assert len(Binding({"x": A, "y": Literal("v")})) == 2
         assert len(EMPTY_BINDING) == 0

@@ -1,0 +1,424 @@
+"""Tests for the id-space evaluation pipeline (joins over dictionary ids)."""
+
+import pytest
+
+from repro.queries import ALL_QUERIES
+from repro.rdf import (
+    BENCH,
+    DC,
+    DCTERMS,
+    FOAF,
+    RDF,
+    BNode,
+    Graph,
+    Literal,
+    Triple,
+    URIRef,
+)
+from repro.sparql import (
+    NESTED_LOOP,
+    SCAN_HASH,
+    AskResult,
+    EvaluationError,
+    Evaluator,
+    IdSpaceEvaluation,
+    SlotLayout,
+    SparqlEngine,
+    parse_query,
+    translate_query,
+)
+from repro.sparql.engine import NATIVE_OPTIMIZED, EngineConfig
+from repro.store import IndexedStore, MemoryStore
+
+XSD_STRING = "http://www.w3.org/2001/XMLSchema#string"
+XSD_INTEGER = "http://www.w3.org/2001/XMLSchema#integer"
+XSD_GYEAR = "http://www.w3.org/2001/XMLSchema#gYear"
+
+STRATEGIES = (NESTED_LOOP, SCAN_HASH)
+
+
+def s(value):
+    return Literal(value, datatype=XSD_STRING)
+
+
+def build_graph():
+    """Documents, creators, and years — enough for joins and OPTIONALs."""
+    g = Graph()
+    d1 = URIRef("http://x/doc1")
+    d2 = URIRef("http://x/doc2")
+    d3 = URIRef("http://x/doc3")
+    alice, bob, carol = BNode("alice"), BNode("bob"), BNode("carol")
+    for person, name in ((alice, "Alice"), (bob, "Bob"), (carol, "Carol")):
+        g.add(Triple(person, RDF.type, FOAF.Person))
+        g.add(Triple(person, FOAF.name, s(name)))
+    for doc, year in ((d1, 1990), (d2, 1995), (d3, 2000)):
+        g.add(Triple(doc, RDF.type, BENCH.Article))
+        g.add(Triple(doc, DCTERMS.issued, Literal(year)))
+    g.add(Triple(d1, DC.creator, alice))
+    g.add(Triple(d2, DC.creator, alice))
+    g.add(Triple(d2, DC.creator, bob))
+    g.add(Triple(d3, DC.creator, carol))
+    g.add(Triple(d1, BENCH.abstract, s("an abstract")))
+    return g
+
+
+GRAPH = build_graph()
+
+
+def tree_for(query_text):
+    return translate_query(parse_query(query_text))
+
+
+def multiset(bindings):
+    counts = {}
+    for binding in bindings:
+        key = frozenset(binding.items())
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class CountingDictionaryStore(IndexedStore):
+    """An IndexedStore counting decode calls and id-level index probes."""
+
+    def __init__(self, triples=None):
+        super().__init__(triples)
+        self.probe_calls = 0
+        self.decode_calls = 0
+        original = self._dictionary.decode
+
+        def counting_decode(term_id):
+            self.decode_calls += 1
+            return original(term_id)
+
+        self._dictionary.decode = counting_decode
+
+    def triples_ids(self, subject=None, predicate=None, object=None):
+        self.probe_calls += 1
+        return super().triples_ids(subject, predicate, object)
+
+
+class TestSlotLayout:
+    def test_collects_pattern_variables_in_first_seen_order(self):
+        layout = SlotLayout.for_tree(
+            tree_for("SELECT ?d ?name WHERE { ?d dc:creator ?p . ?p foaf:name ?name }")
+        )
+        assert layout.names == ("d", "p", "name")
+        assert layout.slot("p") == 1
+        assert layout.slot("?name") == 2
+
+    def test_unknown_variable_has_no_slot(self):
+        layout = SlotLayout.for_tree(tree_for("SELECT ?d WHERE { ?d ?p ?o }"))
+        assert layout.slot("nosuch") is None
+
+    def test_empty_row_width(self):
+        layout = SlotLayout.for_tree(tree_for("SELECT ?d WHERE { ?d ?p ?o }"))
+        assert layout.empty_row() == (None, None, None)
+        assert layout.width == 3
+
+
+class TestIdRoundTrip:
+    """Id-level store access decodes back to exactly the term-level view."""
+
+    def test_triples_ids_round_trip_through_dictionary(self):
+        store = IndexedStore(GRAPH)
+        encoded = store.encode_pattern(None, DC.creator, None)
+        assert encoded is not None
+        decode = store.dictionary.decode
+        decoded = {
+            Triple(decode(s_id), decode(p_id), decode(o_id))
+            for s_id, p_id, o_id in store.triples_ids(*encoded)
+        }
+        assert decoded == set(store.triples(predicate=DC.creator))
+
+    def test_count_ids_matches_term_count(self):
+        store = IndexedStore(GRAPH)
+        encoded = store.encode_pattern(None, RDF.type, None)
+        assert store.count_ids(*encoded) == store.count(predicate=RDF.type)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_evaluate_ids_rows_decode_to_evaluate_bindings(self, strategy):
+        store = IndexedStore(GRAPH)
+        tree = tree_for("SELECT ?d ?name WHERE { ?d dc:creator ?p . ?p foaf:name ?name }")
+        from collections import Counter
+
+        layout, rows = Evaluator(store, strategy=strategy).evaluate_ids(tree)
+        decode = store.dictionary.decode
+        from_ids = Counter(
+            frozenset(
+                (name, decode(cell))
+                for name, cell in zip(layout.names, row)
+                if cell is not None
+            )
+            for row in rows
+        )
+        from_terms = Counter(
+            frozenset(binding.items())
+            for binding in Evaluator(store, strategy=strategy).evaluate(tree)
+        )
+        assert from_ids == from_terms
+
+
+class TestUnknownConstantShortCircuit:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_unknown_constant_skips_index_probes(self, strategy):
+        store = CountingDictionaryStore(GRAPH)
+        # bench:Journal never occurs in the data, so the whole BGP is empty.
+        tree = tree_for(
+            "SELECT ?x ?t WHERE { ?x rdf:type bench:Journal . ?x dc:title ?t }"
+        )
+        evaluator = Evaluator(store, strategy=strategy)
+        assert list(evaluator.evaluate(tree)) == []
+        assert store.probe_calls == 0
+
+    def test_known_constants_do_probe(self):
+        store = CountingDictionaryStore(GRAPH)
+        tree = tree_for("SELECT ?x WHERE { ?x rdf:type bench:Article }")
+        assert len(list(Evaluator(store, strategy=NESTED_LOOP).evaluate(tree))) == 3
+        assert store.probe_calls > 0
+
+
+class TestZeroDecodeJoins:
+    """BGP join execution on the indexed store never calls decode."""
+
+    JOIN_QUERIES = (
+        "SELECT ?d ?name WHERE { ?d dc:creator ?p . ?p foaf:name ?name }",
+        "SELECT ?a ?b WHERE { ?a rdf:type bench:Article . ?b rdf:type foaf:Person }",
+        "SELECT ?d ?a WHERE { ?d rdf:type bench:Article OPTIONAL { ?d bench:abstract ?a } }",
+    )
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("query", JOIN_QUERIES)
+    def test_zero_decodes_during_join_execution(self, strategy, query):
+        store = CountingDictionaryStore(GRAPH)
+        evaluator = Evaluator(store, strategy=strategy)
+        _layout, rows = evaluator.evaluate_ids(tree_for(query))
+        consumed = list(rows)
+        assert consumed, "expected non-empty join results"
+        assert store.decode_calls == 0
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_decodes_happen_only_at_the_result_boundary(self, strategy):
+        store = CountingDictionaryStore(GRAPH)
+        evaluator = Evaluator(store, strategy=strategy)
+        bindings = list(
+            evaluator.evaluate(
+                tree_for("SELECT ?d ?name WHERE { ?d dc:creator ?p . ?p foaf:name ?name }")
+            )
+        )
+        assert len(bindings) == 4
+        assert store.decode_calls > 0
+        # Only projected columns are decoded, and each id at most once.
+        assert store.decode_calls <= 2 * len(store.dictionary)
+
+    def test_filter_decodes_are_memoized_per_id(self):
+        store = CountingDictionaryStore(GRAPH)
+        evaluator = Evaluator(store, strategy=NESTED_LOOP)
+        _layout, rows = evaluator.evaluate_ids(
+            tree_for("SELECT ?d WHERE { ?d dcterms:issued ?yr FILTER (?yr > 1992) }")
+        )
+        assert len(list(rows)) == 2
+        # Three distinct year literals exist; each is decoded at most once.
+        assert store.decode_calls <= 3
+
+
+class NaiveLeftJoinEvaluator(Evaluator):
+    """Term-space evaluator with the quadratic reference OPTIONAL join."""
+
+    def __init__(self, store, strategy=NESTED_LOOP):
+        super().__init__(store, strategy=strategy, use_id_space=False)
+
+    def _eval_left_join(self, node):
+        from repro.sparql.expressions import effective_boolean_value
+
+        left = list(self._eval(node.left))
+        if not left:
+            return iter(())
+        right = list(self._eval(node.right))
+        condition = node.condition
+        results = []
+        for left_binding in left:
+            matched = False
+            for right_binding in right:
+                if not left_binding.compatible(right_binding):
+                    continue
+                merged = left_binding.merge(right_binding)
+                if condition is not None and not effective_boolean_value(
+                    condition, merged
+                ):
+                    continue
+                results.append(merged)
+                matched = True
+            if not matched:
+                results.append(left_binding)
+        return iter(results)
+
+
+#: Q6-shaped: the OPTIONAL shares no variable with the outer group; the join
+#: happens entirely through the condition's equality conjunct.
+Q6_SHAPED = """
+SELECT ?d ?author WHERE {
+  ?d rdf:type bench:Article .
+  ?d dcterms:issued ?yr .
+  ?d dc:creator ?author
+  OPTIONAL {
+    ?d2 rdf:type bench:Article .
+    ?d2 dcterms:issued ?yr2 .
+    ?d2 dc:creator ?author2
+    FILTER (?author = ?author2 && ?yr2 < ?yr)
+  }
+  FILTER (!bound(?author2))
+}
+"""
+
+#: Q7-shaped: nested OPTIONALs with shared variables plus conditions.
+Q7_SHAPED = """
+SELECT ?d ?name WHERE {
+  ?d rdf:type bench:Article
+  OPTIONAL {
+    ?d dc:creator ?p
+    OPTIONAL { ?p foaf:name ?name }
+  }
+  OPTIONAL { ?d bench:abstract ?a FILTER (?name != "Carol"^^xsd:string) }
+}
+"""
+
+#: Plain shared-variable OPTIONAL.
+SHARED_OPTIONAL = """
+SELECT ?d ?a WHERE {
+  ?d rdf:type bench:Article
+  OPTIONAL { ?d bench:abstract ?a }
+}
+"""
+
+
+class TestHashLeftJoinEquivalence:
+    """The hash-based OPTIONAL joins agree with the quadratic reference."""
+
+    @pytest.mark.parametrize("query", (Q6_SHAPED, Q7_SHAPED, SHARED_OPTIONAL))
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_id_space_left_join_matches_naive(self, query, strategy):
+        store = IndexedStore(GRAPH)
+        tree = tree_for(query)
+        naive = multiset(NaiveLeftJoinEvaluator(store, strategy).evaluate(tree))
+        hashed = multiset(Evaluator(store, strategy=strategy).evaluate(tree))
+        assert hashed == naive
+
+    @pytest.mark.parametrize("query", (Q6_SHAPED, Q7_SHAPED, SHARED_OPTIONAL))
+    def test_term_space_left_join_matches_naive(self, query):
+        store = MemoryStore(GRAPH)
+        tree = tree_for(query)
+        naive = multiset(NaiveLeftJoinEvaluator(store, SCAN_HASH).evaluate(tree))
+        hashed = multiset(Evaluator(store, strategy=SCAN_HASH).evaluate(tree))
+        assert hashed == naive
+
+
+class TestEquiConditionValueSemantics:
+    """Hashing on condition equalities must keep SPARQL value-equality."""
+
+    def build(self):
+        g = Graph()
+        d1, d2 = URIRef("http://x/a"), URIRef("http://x/b")
+        g.add(Triple(d1, RDF.type, BENCH.Article))
+        # gYear on one side, plain integer on the other: equal by value.
+        g.add(Triple(d1, DCTERMS.issued, Literal("1940", datatype=XSD_GYEAR)))
+        g.add(Triple(d2, RDF.type, BENCH.Journal))
+        g.add(Triple(d2, DCTERMS.issued, Literal(1940)))
+        return g
+
+    QUERY = """
+    SELECT ?a ?b WHERE {
+      ?a rdf:type bench:Article .
+      ?a dcterms:issued ?y1
+      OPTIONAL {
+        ?b rdf:type bench:Journal .
+        ?b dcterms:issued ?y2
+        FILTER (?y1 = ?y2)
+      }
+    }
+    """
+
+    def test_numeric_value_equality_across_datatypes(self):
+        graph = self.build()
+        tree = tree_for(self.QUERY)
+        id_rows = list(Evaluator(IndexedStore(graph)).evaluate(tree))
+        term_rows = list(
+            Evaluator(IndexedStore(graph), use_id_space=False).evaluate(tree)
+        )
+        assert multiset(id_rows) == multiset(term_rows)
+        assert len(id_rows) == 1
+        assert id_rows[0].get("b") is not None  # 1940^^gYear = 1940^^integer
+
+    def test_language_tagged_literals_do_not_value_join(self):
+        g = Graph()
+        d1, d2 = URIRef("http://x/a"), URIRef("http://x/b")
+        g.add(Triple(d1, RDF.type, BENCH.Article))
+        g.add(Triple(d1, DC.title, Literal("same", language="en")))
+        g.add(Triple(d2, RDF.type, BENCH.Journal))
+        g.add(Triple(d2, DC.title, Literal("same")))
+        query = """
+        SELECT ?a ?b WHERE {
+          ?a rdf:type bench:Article .
+          ?a dc:title ?t1
+          OPTIONAL {
+            ?b rdf:type bench:Journal .
+            ?b dc:title ?t2
+            FILTER (?t1 = ?t2)
+          }
+        }
+        """
+        tree = tree_for(query)
+        id_rows = list(Evaluator(IndexedStore(g)).evaluate(tree))
+        term_rows = list(Evaluator(IndexedStore(g), use_id_space=False).evaluate(tree))
+        assert multiset(id_rows) == multiset(term_rows)
+        assert len(id_rows) == 1
+        assert id_rows[0].get("b") is None  # "same"@en != "same"
+
+
+class TestEvaluatorFacade:
+    def test_indexed_store_defaults_to_id_space(self):
+        assert Evaluator(IndexedStore(GRAPH)).uses_id_space is True
+
+    def test_memory_store_stays_on_term_path(self):
+        assert Evaluator(MemoryStore(GRAPH)).uses_id_space is False
+
+    def test_forcing_id_space_on_scan_store_is_rejected(self):
+        with pytest.raises(EvaluationError):
+            Evaluator(MemoryStore(GRAPH), use_id_space=True)
+
+    def test_evaluate_ids_requires_id_capable_store(self):
+        evaluator = Evaluator(MemoryStore(GRAPH))
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate_ids(tree_for("SELECT ?x WHERE { ?x ?p ?o }"))
+
+    def test_id_space_evaluation_rejects_scan_store(self):
+        with pytest.raises(EvaluationError):
+            IdSpaceEvaluation(MemoryStore(GRAPH))
+
+    def test_ask_on_id_path(self):
+        evaluator = Evaluator(IndexedStore(GRAPH))
+        assert evaluator.evaluate(tree_for("ASK { ?d rdf:type bench:Article }")) is True
+        assert evaluator.evaluate(tree_for("ASK { ?d rdf:type bench:Journal }")) is False
+
+    def test_engine_config_can_force_term_space(self):
+        config = EngineConfig(name="native-term", use_id_space=False)
+        engine = SparqlEngine.from_graph(GRAPH, config)
+        rows = engine.query("SELECT ?d WHERE { ?d rdf:type bench:Article }")
+        assert len(rows) == 3
+
+
+class TestCatalogEquivalence:
+    """Every catalog query returns identical multisets on both paths."""
+
+    @pytest.mark.parametrize("query", ALL_QUERIES, ids=lambda q: q.identifier)
+    def test_id_space_matches_term_space_on_catalog(self, query, generated_graph_small):
+        id_engine = SparqlEngine.from_graph(generated_graph_small, NATIVE_OPTIMIZED)
+        term_engine = SparqlEngine(
+            EngineConfig(name="native-term", use_id_space=False)
+        )
+        term_engine.store = id_engine.store  # identical data, shared dictionary
+        id_result = id_engine.query(query.text)
+        term_result = term_engine.query(query.text)
+        if isinstance(id_result, AskResult):
+            assert bool(id_result) == bool(term_result)
+        else:
+            assert id_result.as_multiset() == term_result.as_multiset()

@@ -101,3 +101,90 @@ class TestStatisticsIntegration:
 
     def test_class_counts_only_for_rdf_type(self, store):
         assert store.statistics.class_counts == {}
+
+
+class TestIdLevelAccess:
+    def test_supports_id_access_capability(self, store):
+        assert store.supports_id_access is True
+        assert MemoryStore().supports_id_access is False
+
+    def test_encode_pattern_round_trips_known_terms(self, store):
+        encoded = store.encode_pattern(uri("a"), uri("p"), None)
+        assert encoded is not None
+        s_id, p_id, o_id = encoded
+        assert store.dictionary.decode(s_id) == uri("a")
+        assert store.dictionary.decode(p_id) == uri("p")
+        assert o_id is None
+
+    def test_encode_pattern_unknown_term_is_none(self, store):
+        assert store.encode_pattern(uri("nope"), None, None) is None
+
+    def test_triples_ids_matches_term_level_view(self, store):
+        decode = store.dictionary.decode
+        for pattern in ((None, uri("p"), None), (uri("a"), None, None),
+                        (None, None, None)):
+            encoded = store.encode_pattern(*pattern)
+            decoded = {
+                Triple(decode(s), decode(p), decode(o))
+                for s, p, o in store.triples_ids(*encoded)
+            }
+            assert decoded == set(store.triples(*pattern)), pattern
+
+    def test_triples_ids_yields_raw_int_tuples(self, store):
+        encoded = store.encode_pattern(None, uri("q"), None)
+        rows = list(store.triples_ids(*encoded))
+        assert len(rows) == 2
+        assert all(
+            isinstance(component, int) for row in rows for component in row
+        )
+
+    def test_count_ids_matches_count(self, store):
+        encoded = store.encode_pattern(None, uri("p"), None)
+        assert store.count_ids(*encoded) == store.count(predicate=uri("p")) == 3
+        assert store.count_ids() == len(store)
+
+
+class TestRemove:
+    def test_remove_present_triple(self, store):
+        target = sample_triples()[0]
+        assert store.remove(target) is True
+        assert len(store) == 4
+        assert not store.contains(target)
+        assert store.remove(target) is False
+
+    def test_remove_unknown_term_is_noop(self, store):
+        assert store.remove(Triple(uri("zz"), uri("p"), uri("b"))) is False
+        assert len(store) == 5
+
+    def test_remove_maintains_indexes(self, store):
+        for triple in sample_triples():
+            if triple.predicate == uri("p"):
+                assert store.remove(triple) is True
+        assert store.count(predicate=uri("p")) == 0
+        assert list(store.triples(predicate=uri("p"))) == []
+        assert store.count(predicate=uri("q")) == 2
+        # Fully removed keys estimate to zero through the index path too.
+        assert store.estimate_count(subject=uri("a"), predicate=uri("p")) == 0
+
+    def test_remove_maintains_statistics(self, store):
+        removed = sample_triples()[0]
+        store.remove(removed)
+        assert store.statistics.triple_count == 4
+        assert store.statistics.predicate_count(uri("p")) == 2
+        # uri("a") still appears as subject of another p-triple.
+        assert store.statistics.distinct_subjects(uri("p")) == 2
+
+    def test_remove_then_re_add(self, store):
+        target = sample_triples()[0]
+        store.remove(target)
+        assert store.add(target) is True
+        assert len(store) == 5
+        assert set(store.triples()) == set(sample_triples())
+
+    def test_remove_matches_memory_store_behaviour(self):
+        triples = sample_triples()
+        indexed, memory = IndexedStore(triples), MemoryStore(triples)
+        for target in (triples[1], triples[3]):
+            assert indexed.remove(target) == memory.remove(target) is True
+        assert set(indexed.triples()) == set(memory.triples())
+        assert len(indexed) == len(memory)

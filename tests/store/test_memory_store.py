@@ -71,6 +71,16 @@ class TestMemoryStore:
         assert store.remove(sample_triples()[0]) is False
         assert len(store) == 2
 
+    def test_remove_preserves_scan_order(self):
+        store = MemoryStore(sample_triples())
+        store.remove(sample_triples()[1])
+        assert list(store) == [sample_triples()[0], sample_triples()[2]]
+
+    def test_remove_absent_triple_is_noop(self):
+        store = MemoryStore(sample_triples())
+        assert store.remove(Triple(uri("z"), uri("p"), uri("b"))) is False
+        assert len(store) == 3
+
     def test_iteration(self):
         store = MemoryStore(sample_triples())
         assert list(store) == sample_triples()

@@ -74,3 +74,36 @@ class TestEstimates:
         statistics = build_statistics()
         estimate = statistics.estimate(uri("a1"), None, None)
         assert 0 < estimate < 8
+
+
+class TestForget:
+    def test_forget_is_inverse_of_observe(self):
+        statistics = build_statistics()
+        statistics.forget(Triple(uri("a1"), uri("creator"), uri("alice")))
+        assert statistics.triple_count == 7
+        assert statistics.predicate_count(uri("creator")) == 2
+        # alice still appears as an object of another creator triple.
+        assert statistics.distinct_objects(uri("creator")) == 2
+        assert statistics.distinct_subjects(uri("creator")) == 1
+
+    def test_forget_drops_distinct_entry_at_zero_occurrences(self):
+        statistics = build_statistics()
+        statistics.forget(Triple(uri("a2"), uri("creator"), uri("bob")))
+        assert statistics.distinct_objects(uri("creator")) == 1
+
+    def test_forget_maintains_class_counts(self):
+        statistics = build_statistics()
+        statistics.forget(Triple(uri("a1"), RDF.type, BENCH.Article))
+        assert statistics.class_count(BENCH.Article) == 1
+        statistics.forget(Triple(uri("a2"), RDF.type, BENCH.Article))
+        assert statistics.class_count(BENCH.Article) == 0
+
+    def test_forget_all_restores_empty_estimates(self):
+        statistics = build_statistics()
+        for triple in [
+            Triple(uri("a1"), uri("pages"), Literal("1--10")),
+            Triple(uri("a2"), uri("pages"), Literal("11--20")),
+        ]:
+            statistics.forget(triple)
+        assert statistics.predicate_count(uri("pages")) == 0
+        assert statistics.estimate(None, uri("pages"), None) == 0
