@@ -74,10 +74,73 @@ def test_ablation_is_correctness_preserving_on_neutral_queries(benchmark, engine
             assert bool(baseline_result) == bool(optimized_result)
 
 
+def test_ablation_planner_families(benchmark, medium_graph):
+    """The cost-based planner beats the greedy reorder on the Q4/Q8 mix.
+
+    Third optimizer family (ISSUE 2): ``planner=cost`` plans in id space with
+    live statistics — cardinality propagation, star grouping, per-step
+    probe/scan choice, and bind joins for small-left joins (Q8's UNION
+    anchored to the single Paul Erdoes solution, Q12b's ASK variant).  The
+    ablation compares all three families on the join-heavy mix and asserts
+    the cost family wins wall-clock overall without changing any result.
+    """
+    from repro.sparql import EngineConfig, SparqlEngine as Engine
+
+    mix = ("Q4", "Q5a", "Q8", "Q12b")
+    engines = {}
+    for family in ("none", "greedy", "cost"):
+        config = EngineConfig(
+            name=f"native-{family}", store_type="indexed",
+            reorder_patterns=True, push_filters=True, planner=family,
+        )
+        engines[family] = Engine.from_graph(medium_graph, config)
+
+    benchmark.pedantic(
+        lambda: engines["cost"].query(get_query("Q8").text), rounds=1, iterations=1
+    )
+
+    print("\nAblation — planner families on the Q4/Q8-style mix (elapsed seconds)")
+    totals = {family: 0.0 for family in engines}
+    for query_id in mix:
+        times = {}
+        results = {}
+        for family, engine in engines.items():
+            # Warm a first run so allocator effects don't dominate, then take
+            # the best of two timed runs (scheduler-noise robustness).
+            if query_id == mix[0]:
+                engine.query(get_query(query_id).text)
+            first, results[family] = _timed(engine, query_id)
+            second, _result = _timed(engine, query_id)
+            times[family] = min(first, second)
+            totals[family] += times[family]
+        print(
+            f"  {query_id:>5}: none={times['none']:.3f}s "
+            f"greedy={times['greedy']:.3f}s cost={times['cost']:.3f}s"
+        )
+        reference = results["none"]
+        for family in ("greedy", "cost"):
+            if reference.form == "SELECT":
+                assert results[family].as_multiset() == reference.as_multiset()
+            else:
+                assert bool(results[family]) == bool(reference)
+    print(
+        f"  mix: none={totals['none']:.3f}s greedy={totals['greedy']:.3f}s "
+        f"cost={totals['cost']:.3f}s "
+        f"(cost vs greedy speedup={totals['greedy'] / max(totals['cost'], 1e-9):.2f}x)"
+    )
+    # Acceptance bar: the cost-based plans beat the greedy reorder overall.
+    # Only asserted at the default (or larger) document size — at smoke scale
+    # the mix totals are a few dozen milliseconds and scheduler noise on a
+    # shared CI runner can flip a comparison that holds comfortably at 5k
+    # (same policy as the id-space speedup bench).
+    if len(medium_graph) >= 5_000:
+        assert totals["cost"] < totals["greedy"]
+
+
 def test_ablation_pattern_reuse(benchmark, medium_graph):
     """Graph-pattern result reuse (Table II row 5) pays off on Q4/Q8-style
     queries for the scan-based engine, without changing results."""
-    from repro.sparql import IN_MEMORY_BASELINE, IN_MEMORY_OPTIMIZED, EngineConfig, SCAN_HASH
+    from repro.sparql import EngineConfig, SCAN_HASH
 
     no_reuse = EngineConfig(
         name="inmemory-no-reuse", store_type="memory", join_strategy=SCAN_HASH,

@@ -1,0 +1,33 @@
+"""Per-catalog-query timings — the data source for the CI regression gate.
+
+One pytest-benchmark entry per benchmark query, run on the shared medium
+document through the cost-planned native engine.  CI runs this suite with
+``--benchmark-json`` at smoke scale, uploads the JSON, and
+``tools/compare_benchmarks.py`` fails the build when any query's
+*normalized* time (relative to the geometric mean of the whole run, so
+absolute machine speed cancels out) regresses beyond the threshold against
+the committed ``benchmarks/baseline.json``.
+"""
+
+import pytest
+
+from repro.queries import ALL_QUERIES, get_query
+from repro.sparql import NATIVE_COST, SparqlEngine
+
+
+@pytest.fixture(scope="module")
+def catalog_engine(medium_graph):
+    """The cost-planned native engine over the shared benchmark document."""
+    return SparqlEngine.from_graph(medium_graph, NATIVE_COST)
+
+
+@pytest.mark.parametrize("query_id", [query.identifier for query in ALL_QUERIES])
+def test_catalog_query(benchmark, catalog_engine, query_id):
+    query_text = get_query(query_id).text
+    # One warm-up evaluation, then two timed rounds: enough signal for the
+    # shape-based regression comparison without dominating suite runtime.
+    result = benchmark.pedantic(
+        lambda: catalog_engine.query(query_text),
+        rounds=2, iterations=1, warmup_rounds=1,
+    )
+    assert result is not None

@@ -9,7 +9,6 @@ Each check asserts the qualitative relationship visible in the published
 plots rather than absolute numbers.
 """
 
-import pytest
 
 from repro.queries import get_query
 

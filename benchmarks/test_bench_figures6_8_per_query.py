@@ -6,7 +6,6 @@ experiment report and spot-checks the global relationships that hold across
 the published panels.
 """
 
-import pytest
 
 from repro.bench import reporting
 from repro.queries import ALL_QUERIES, get_query

@@ -7,7 +7,6 @@ laptop scale (10^3 ... ~5*10^4) and checks the same near-linear shape.
 
 import time
 
-import pytest
 
 from conftest import generate_document
 

@@ -8,7 +8,6 @@ timeout, and they hit it earlier on the scan-based in-memory engines than on
 the index-backed ones.
 """
 
-import pytest
 
 from repro.bench import reporting
 from repro.bench.metrics import SUCCESS

@@ -5,7 +5,6 @@ the invariants the paper derives from it: the constant-size queries (Q1, Q3c,
 Q9, Q10, Q11) versus the scaling queries (Q2, Q3a, Q4, Q5a/b, Q6).
 """
 
-import pytest
 
 from repro.bench import reporting
 from repro.queries import get_query

@@ -9,7 +9,6 @@ bench prints both and checks the relationships the paper reports:
   scan-based in-memory engines — the paper's headline engine comparison.
 """
 
-import pytest
 
 from repro.bench import reporting
 from repro.queries import get_query

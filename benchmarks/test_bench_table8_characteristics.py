@@ -7,7 +7,6 @@ the paper highlights: articles and inproceedings dominate, theses/WWW
 documents are missing in the early years, authors grow superlinearly.
 """
 
-import pytest
 
 from repro.analysis import DocumentSetStatistics
 

@@ -40,6 +40,10 @@ class ExperimentConfig:
     queries: tuple = ALL_QUERIES
     runs: int = 1
     timeout: float = 30.0
+    #: Overall wall-clock budget (seconds) for all query executions of the
+    #: experiment; once spent, remaining queries are classified as timeouts
+    #: without being issued.  ``None`` disables the bound.
+    overall_budget: float = None
     generator_seed: int = 823645187
     trace_memory: bool = True
 
@@ -137,6 +141,10 @@ class BenchmarkHarness:
         runner = QueryRunner(
             timeout=self.config.timeout, trace_memory=self.config.trace_memory
         )
+        # The budget covers query executions only: generation and loading
+        # time never count against it, so only the measured elapsed times
+        # are accumulated (pre-classified queries contribute 0).
+        query_time_spent = 0.0
 
         for size, (graph, generation_time, stats) in documents.items():
             report.generation_times[size] = generation_time
@@ -145,14 +153,19 @@ class BenchmarkHarness:
                 engine, loading_time = time_loading(engine_config, graph)
                 report.loading_times[(engine_config.name, size)] = loading_time
                 for _run in range(self.config.runs):
-                    report.measurements.extend(
-                        runner.run_many(
-                            engine,
-                            self.config.queries,
-                            document_size=size,
-                            engine_name=engine_config.name,
-                        )
+                    remaining = (
+                        None if self.config.overall_budget is None
+                        else self.config.overall_budget - query_time_spent
                     )
+                    measurements = runner.run_many(
+                        engine,
+                        self.config.queries,
+                        document_size=size,
+                        engine_name=engine_config.name,
+                        overall_budget=remaining,
+                    )
+                    query_time_spent += sum(m.elapsed for m in measurements)
+                    report.measurements.extend(measurements)
         return report
 
 

@@ -26,8 +26,22 @@ class QueryRunner:
         self.memory_limit_bytes = memory_limit_bytes
         self.trace_memory = trace_memory
 
-    def run(self, engine, query, document_size=0, engine_name=None):
-        """Execute one :class:`BenchmarkQuery` and return a QueryMeasurement."""
+    def _effective_timeout(self, budget):
+        """Per-query time limit given the remaining overall budget."""
+        if budget is None:
+            return self.timeout
+        if self.timeout is None:
+            return budget
+        return min(self.timeout, budget)
+
+    def run(self, engine, query, document_size=0, engine_name=None, budget=None):
+        """Execute one :class:`BenchmarkQuery` and return a QueryMeasurement.
+
+        ``budget`` is the remaining overall harness budget in seconds; when
+        given, the cooperative timeout classification uses the tighter of
+        the per-query timeout and that remaining budget, so a suite whose
+        budget is nearly spent classifies slow stragglers as timeouts.
+        """
         engine_name = engine_name or engine.config.name
         measurement = QueryMeasurement(
             query_id=query.identifier,
@@ -64,20 +78,49 @@ class QueryRunner:
             if tracing_started_here:
                 tracemalloc.stop()
 
+        effective_timeout = self._effective_timeout(budget)
         if measurement.status == SUCCESS:
-            if self.timeout is not None and measurement.elapsed > self.timeout:
+            if effective_timeout is not None and measurement.elapsed > effective_timeout:
                 measurement.status = TIMEOUT
             elif (self.memory_limit_bytes is not None
                   and measurement.peak_memory > self.memory_limit_bytes):
                 measurement.status = MEMORY
         return measurement
 
-    def run_many(self, engine, queries, document_size=0, engine_name=None):
-        """Run a sequence of benchmark queries; returns the measurement list."""
-        return [
-            self.run(engine, query, document_size=document_size, engine_name=engine_name)
-            for query in queries
-        ]
+    def run_many(self, engine, queries, document_size=0, engine_name=None,
+                 overall_budget=None):
+        """Run a sequence of benchmark queries; returns the measurement list.
+
+        ``overall_budget`` (seconds) bounds the whole sequence: the remaining
+        budget is passed down to every execution, and once it is exhausted no
+        further query is *issued* — the rest of the sequence is classified as
+        timeouts up front (``elapsed`` 0, error noting the exhausted budget),
+        matching the paper's penalty treatment of runs that never finish.
+        """
+        engine_name = engine_name or engine.config.name
+        deadline = (
+            None if overall_budget is None
+            else time.perf_counter() + max(overall_budget, 0.0)
+        )
+        measurements = []
+        for query in queries:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    measurements.append(QueryMeasurement(
+                        query_id=query.identifier,
+                        engine=engine_name,
+                        document_size=document_size,
+                        status=TIMEOUT,
+                        error="harness budget exhausted before execution",
+                    ))
+                    continue
+            measurements.append(self.run(
+                engine, query, document_size=document_size,
+                engine_name=engine_name, budget=remaining,
+            ))
+        return measurements
 
 
 def time_loading(engine_config, graph):

@@ -1,7 +1,11 @@
 """Command-line entry points: generate data, run queries, run the benchmark.
 
-Three console scripts are installed (see ``pyproject.toml``):
+Console scripts are installed via ``pyproject.toml``:
 
+``repro``
+    The dispatching entry point: ``repro {generate|query|bench} ...``.
+    ``repro query --explain`` prints the physical query plan with estimated
+    and actual per-step cardinalities.
 ``sp2bench-generate``
     Generate a DBLP-like document and write it as N-Triples.
 ``sp2bench-query``
@@ -22,7 +26,16 @@ from .generator.config import GeneratorConfig
 from .generator.generator import DblpGenerator
 from .queries.catalog import ALL_QUERIES, get_query
 from .rdf.ntriples import parse_file
-from .sparql.engine import ENGINE_PRESETS, NATIVE_OPTIMIZED, SparqlEngine
+from .sparql.engine import (
+    ENGINE_PRESETS,
+    NATIVE_COST,
+    NATIVE_OPTIMIZED,
+    SparqlEngine,
+)
+
+#: Engine configurations selectable from the command line: the paper's four
+#: presets plus the cost-based planner profile.
+CLI_ENGINE_CONFIGS = ENGINE_PRESETS + (NATIVE_COST,)
 
 
 def generate_main(argv=None):
@@ -59,14 +72,17 @@ def query_main(argv=None):
     parser.add_argument("--query", default="Q1",
                         help="benchmark query id (Q1..Q12c) or path to a SPARQL file")
     parser.add_argument("--engine", default=NATIVE_OPTIMIZED.name,
-                        choices=[config.name for config in ENGINE_PRESETS],
+                        choices=[config.name for config in CLI_ENGINE_CONFIGS],
                         help="engine preset to use")
     parser.add_argument("--limit", type=int, default=20,
                         help="maximum number of result rows to print")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the physical query plan with estimated "
+                             "and actual per-step cardinalities")
     args = parser.parse_args(argv)
 
     graph = parse_file(args.document)
-    config = next(c for c in ENGINE_PRESETS if c.name == args.engine)
+    config = next(c for c in CLI_ENGINE_CONFIGS if c.name == args.engine)
     engine = SparqlEngine.from_graph(graph, config)
 
     try:
@@ -76,6 +92,12 @@ def query_main(argv=None):
         with open(args.query, "r", encoding="utf-8") as handle:
             query_text = handle.read()
         label = args.query
+
+    if args.explain:
+        report = engine.explain(query_text)
+        print(f"{label}:")
+        print(report.render())
+        return 0
 
     start = time.perf_counter()
     result = engine.query(query_text)
@@ -116,11 +138,11 @@ def bench_main(argv=None):
 
 
 def main(argv=None):
-    """Dispatching entry point (``python -m repro.cli <command> ...``)."""
+    """Dispatching entry point (``repro <command>`` / ``python -m repro.cli``)."""
     commands = {"generate": generate_main, "query": query_main, "bench": bench_main}
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] not in commands:
-        print("usage: python -m repro.cli {generate|query|bench} [options]", file=sys.stderr)
+        print("usage: repro {generate|query|bench} [options]", file=sys.stderr)
         return 2
     return commands[argv[0]](argv[1:])
 

@@ -8,6 +8,7 @@ from .engine import (
     IN_MEMORY_BASELINE,
     IN_MEMORY_OPTIMIZED,
     NATIVE_BASELINE,
+    NATIVE_COST,
     NATIVE_OPTIMIZED,
     EngineConfig,
     SparqlEngine,
@@ -18,6 +19,19 @@ from .evaluator import NESTED_LOOP, SCAN_HASH, Evaluator
 from .idspace import IdSpaceEvaluation, SlotBinding, SlotLayout
 from .optimizer import optimize, reorder_patterns
 from .parser import parse_query
+from .planner import (
+    PLANNER_COST,
+    PLANNER_GREEDY,
+    PLANNER_NONE,
+    BGPPlan,
+    CostModel,
+    ExplainReport,
+    JoinPlan,
+    PlanStep,
+    annotate_tree,
+    plan_bgp,
+    plan_tree,
+)
 from .results import AskResult, SelectResult
 
 __all__ = [
@@ -45,7 +59,19 @@ __all__ = [
     "IN_MEMORY_BASELINE",
     "IN_MEMORY_OPTIMIZED",
     "NATIVE_BASELINE",
+    "NATIVE_COST",
     "NATIVE_OPTIMIZED",
+    "PLANNER_NONE",
+    "PLANNER_GREEDY",
+    "PLANNER_COST",
+    "BGPPlan",
+    "PlanStep",
+    "JoinPlan",
+    "CostModel",
+    "ExplainReport",
+    "plan_bgp",
+    "plan_tree",
+    "annotate_tree",
     "SparqlError",
     "SparqlSyntaxError",
     "EvaluationError",

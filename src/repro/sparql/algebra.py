@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional as Opt
 
-from ..rdf.terms import Variable
 from . import ast
 
 
@@ -45,10 +44,15 @@ class BGP(AlgebraNode):
     filter-pushing optimizer: the expression is applied as soon as the pattern
     at ``position`` has been joined, shrinking intermediate results exactly as
     described in the paper's optimization discussion (Section V).
+
+    ``plan`` optionally carries a :class:`~repro.sparql.planner.BGPPlan`
+    (per-step physical strategies and cardinality estimates); when present,
+    the id-space evaluator executes the plan instead of re-deriving an order.
     """
 
     patterns: list = field(default_factory=list)
     inline_filters: list = field(default_factory=list)
+    plan: object = None
 
     def variables(self):
         found = set()
@@ -66,10 +70,16 @@ class BGP(AlgebraNode):
 
 @dataclass
 class Join(AlgebraNode):
-    """Inner join of two operands on their shared variables."""
+    """Inner join of two operands on their shared variables.
+
+    ``plan`` optionally carries a :class:`~repro.sparql.planner.JoinPlan`
+    selecting the physical strategy (hash join, or a bind join that seeds
+    the right operand's evaluation with the left rows).
+    """
 
     left: AlgebraNode
     right: AlgebraNode
+    plan: object = None
 
     def variables(self):
         return self.left.variables() | self.right.variables()

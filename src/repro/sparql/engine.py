@@ -14,16 +14,18 @@ harness runs all of them and the ablation benches flip individual flags.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
 from ..rdf.graph import Graph
 from ..store.indexed_store import IndexedStore
 from ..store.memory_store import MemoryStore
-from . import algebra, optimizer
+from . import algebra, optimizer, planner
 from .ast import AskQuery, SelectQuery
 from .evaluator import NESTED_LOOP, SCAN_HASH, Evaluator
 from .parser import parse_query
+from .planner import PLANNER_COST, PLANNER_GREEDY, PLANNER_NONE
 from .results import AskResult, SelectResult
 
 
@@ -42,6 +44,19 @@ class EngineConfig:
     #: Forcing False keeps an id-capable store on the term-space path, which
     #: is what the id-space ablation benchmark measures against.
     use_id_space: Optional[bool] = None
+    #: Join-planner family: "none" (textual order), "greedy" (static
+    #: selectivity reorder in :mod:`.optimizer`), or "cost" (the statistics
+    #: backed physical planner in :mod:`.planner`).  ``None`` derives the
+    #: family from ``reorder_patterns`` for backward compatibility.
+    planner: Optional[str] = None
+
+    def resolved_planner(self):
+        """The effective planner family for this configuration."""
+        if self.planner is not None:
+            if self.planner not in (PLANNER_NONE, PLANNER_GREEDY, PLANNER_COST):
+                raise ValueError(f"unknown planner family {self.planner!r}")
+            return self.planner
+        return PLANNER_GREEDY if self.reorder_patterns else PLANNER_NONE
 
     def create_store(self):
         """Instantiate the storage backend this configuration asks for."""
@@ -82,6 +97,18 @@ NATIVE_OPTIMIZED = EngineConfig(
     reorder_patterns=True,
     push_filters=True,
 )
+#: The cost-based planner on top of the native profile: statistics-driven
+#: pattern order, per-step probe/scan choice, and bind joins.  Not part of
+#: ENGINE_PRESETS (the paper's four-engine comparison) — the ablation
+#: benchmarks contrast it against the greedy family explicitly.
+NATIVE_COST = EngineConfig(
+    name="native-cost",
+    store_type="indexed",
+    join_strategy=NESTED_LOOP,
+    reorder_patterns=True,
+    push_filters=True,
+    planner=PLANNER_COST,
+)
 
 #: All presets in the order used by benchmark reports.
 ENGINE_PRESETS = (
@@ -119,17 +146,27 @@ class SparqlEngine:
         return parse_query(query_text)
 
     def plan(self, query):
-        """Translate (and optionally optimize) a parsed query into algebra."""
+        """Translate (and optionally optimize/plan) a parsed query into algebra.
+
+        The ``greedy`` planner family applies the static selectivity reorder
+        of :mod:`.optimizer`; the ``cost`` family leaves ordering to the
+        statistics-backed physical planner (:mod:`.planner`), which runs
+        after filter pushing and attaches the plan to the tree.
+        """
         if isinstance(query, str):
             query = self.parse(query)
         tree = algebra.translate_query(query)
-        if self.config.reorder_patterns or self.config.push_filters:
+        mode = self.config.resolved_planner()
+        reorder = mode == PLANNER_GREEDY
+        if reorder or self.config.push_filters:
             tree = optimizer.optimize(
                 tree,
                 self.store,
-                reorder=self.config.reorder_patterns,
+                reorder=reorder,
                 push_filters=self.config.push_filters,
             )
+        if mode == PLANNER_COST:
+            tree = planner.plan_tree(tree, self.store)
         return query, tree
 
     def query(self, query_text):
@@ -150,6 +187,51 @@ class SparqlEngine:
                 variables = sorted(tree.variables(), key=str)
             return SelectResult(variables, outcome)
         raise TypeError(f"unsupported query form: {parsed!r}")
+
+    def explain(self, query_text):
+        """Execute a query with plan instrumentation and report the plan.
+
+        Returns an :class:`~repro.sparql.planner.ExplainReport` whose
+        rendering shows, per plan step, the estimated and the actually
+        observed cardinality.  For the ``none``/``greedy`` planner families
+        the tree keeps its configured order and physical strategy and is
+        merely annotated with estimates, so the report describes exactly
+        what the engine would do for :meth:`query`.  Actual counts require
+        the id-space path; term-space execution reports estimates only.
+        """
+        parsed, tree = self.plan(query_text)
+        mode = self.config.resolved_planner()
+        if mode != PLANNER_COST:
+            step_strategy = (
+                planner.PROBE if self.config.join_strategy == NESTED_LOOP
+                else planner.SCAN
+            )
+            tree = planner.annotate_tree(tree, self.store, strategy=step_strategy)
+        for node in algebra.walk(tree):
+            if isinstance(node, algebra.BGP) and node.plan is not None:
+                node.plan.reset_actuals()
+        evaluator = Evaluator(
+            self.store,
+            strategy=self.config.join_strategy,
+            reuse_patterns=self.config.reuse_pattern_results,
+            use_id_space=self.config.use_id_space,
+            observe_plans=True,
+        )
+        start = time.perf_counter()
+        outcome = evaluator.evaluate(tree)
+        if isinstance(parsed, AskQuery):
+            result_count = 1 if outcome else 0
+        else:
+            result_count = sum(1 for _binding in outcome)
+        elapsed = time.perf_counter() - start
+        return planner.ExplainReport(
+            tree=tree,
+            planner=mode,
+            engine=self.config.name,
+            id_space=evaluator.uses_id_space,
+            result_count=result_count,
+            elapsed=elapsed,
+        )
 
     def ask(self, query_text):
         """Run an ASK query and return its boolean answer."""

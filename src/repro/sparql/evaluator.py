@@ -64,7 +64,7 @@ class Evaluator:
     """
 
     def __init__(self, store, strategy=NESTED_LOOP, reuse_patterns=False,
-                 use_id_space=None):
+                 use_id_space=None, observe_plans=False):
         if strategy not in _STRATEGIES:
             raise EvaluationError(f"unknown join strategy {strategy!r}")
         supports_ids = getattr(store, "supports_id_access", False)
@@ -78,6 +78,7 @@ class Evaluator:
         self._strategy = strategy
         self._reuse_patterns = reuse_patterns
         self._use_id_space = bool(use_id_space)
+        self._observe_plans = observe_plans
         self._pattern_cache = {}
 
     # -- public API -----------------------------------------------------------
@@ -120,7 +121,8 @@ class Evaluator:
     def _id_space_run(self):
         """A fresh per-evaluation id-space run (own caches and decode memo)."""
         return IdSpaceEvaluation(
-            self._store, self._strategy, reuse_patterns=self._reuse_patterns
+            self._store, self._strategy, reuse_patterns=self._reuse_patterns,
+            observe_plans=self._observe_plans,
         )
 
     # -- dispatch ----------------------------------------------------------------

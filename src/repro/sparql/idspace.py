@@ -33,19 +33,14 @@ from itertools import islice
 
 from ..rdf.terms import Literal, Variable, term_sort_key
 from . import algebra, ast
-from .bindings import Binding
+from .bindings import Binding, _name
 from .errors import EvaluationError
 from .expressions import effective_boolean_value
+from .planner import BIND_JOIN, SCAN
 
 #: Join strategy names shared with (and re-exported by) the evaluator facade.
 NESTED_LOOP = "nested_loop"
 SCAN_HASH = "scan_hash"
-
-
-def _name(variable):
-    if isinstance(variable, Variable):
-        return variable.name
-    return str(variable).lstrip("?$")
 
 
 class SlotLayout:
@@ -159,7 +154,8 @@ class IdSpaceEvaluation:
     :class:`Binding` objects, the result-boundary decode.
     """
 
-    def __init__(self, store, strategy=NESTED_LOOP, reuse_patterns=False):
+    def __init__(self, store, strategy=NESTED_LOOP, reuse_patterns=False,
+                 observe_plans=False):
         if not getattr(store, "supports_id_access", False):
             raise EvaluationError(
                 f"store {store!r} does not support id-space evaluation"
@@ -168,6 +164,9 @@ class IdSpaceEvaluation:
         self._dictionary = store.dictionary
         self._strategy = strategy
         self._reuse_patterns = reuse_patterns
+        #: When set, planned BGP steps count the rows they produce into
+        #: their PlanStep.actual field (the EXPLAIN instrumentation).
+        self._observe = observe_plans
         self._pattern_cache = {}
         self._term_memo = {}
         self._layout = None
@@ -281,23 +280,83 @@ class IdSpaceEvaluation:
             compiled.append(tuple(parts))
         return compiled
 
-    def _eval_bgp(self, node):
+    def _eval_bgp(self, node, seeds=None):
         if not node.patterns:
+            if seeds is not None:
+                return iter(seeds)
             return iter((self._layout.empty_row(),))
         compiled = self._compile_patterns(node.patterns)
         if compiled is None:
             return iter(())
-        if self._strategy == NESTED_LOOP:
-            return self._bgp_nested_loop(node, compiled)
+        if node.plan is not None:
+            return self._bgp_planned(node, compiled, node.plan, seeds)
+        if seeds is not None or self._strategy == NESTED_LOOP:
+            return self._bgp_nested_loop(node, compiled, seeds)
         return self._bgp_scan_hash(node, compiled)
 
-    def _bgp_nested_loop(self, node, compiled):
-        rows = iter((self._layout.empty_row(),))
+    def _bgp_nested_loop(self, node, compiled, seeds=None):
+        rows = iter(seeds) if seeds is not None else iter((self._layout.empty_row(),))
         for position, cpattern in enumerate(compiled):
             rows = self._extend_rows(rows, cpattern)
             for expression in node.filters_at(position):
                 rows = self._filter_rows(rows, expression)
         return rows
+
+    def _bgp_planned(self, node, compiled, plan, seeds=None):
+        """Execute a BGP along its :class:`~repro.sparql.planner.BGPPlan`.
+
+        Each step either probes the store per intermediate row (PROBE) or
+        scans its pattern once and hash-joins on the slots the planner saw
+        as bound (SCAN); ``seeds`` carries the left rows of a bind join.
+        With observation on, every step counts the rows it produces into
+        ``step.actual`` — the EXPLAIN estimated-versus-actual column.
+        """
+        layout = self._layout
+        empty = layout.empty_row()
+        if seeds is not None:
+            rows = iter(seeds)
+        else:
+            rows = iter((empty,))
+        bound_slots = set()
+        for name in plan.outer_bound:
+            slot = layout.slot(name)
+            if slot is not None:
+                bound_slots.add(slot)
+        for position, (cpattern, step) in enumerate(zip(compiled, plan.steps)):
+            pattern_slots = {ref for is_var, ref in cpattern if is_var}
+            if step.strategy == SCAN:
+                left_rows = list(rows)
+                if not left_rows:
+                    return iter(())
+                pattern_rows = []
+                for ids in self._scan_ids(cpattern):
+                    row = _bind_ids(empty, cpattern, ids)
+                    if row is not None:
+                        pattern_rows.append(row)
+                rows = iter(_join_rows(
+                    left_rows, pattern_rows, bound_slots & pattern_slots
+                ))
+            else:
+                rows = self._extend_rows(rows, cpattern)
+            bound_slots |= pattern_slots
+            for expression in node.filters_at(position):
+                rows = self._filter_rows(rows, expression)
+            if self._observe:
+                rows = self._observe_rows(rows, step)
+        return rows
+
+    @staticmethod
+    def _observe_rows(rows, step):
+        """Count the rows a plan step produces into ``step.actual``."""
+        if step.actual is None:
+            step.actual = 0
+
+        def generate():
+            for row in rows:
+                step.actual += 1
+                yield row
+
+        return generate()
 
     def _extend_rows(self, rows, cpattern):
         """Index nested-loop step: probe the store once per current row."""
@@ -359,9 +418,43 @@ class IdSpaceEvaluation:
         left = list(self._eval(node.left))
         if not left:
             return iter(())
+        plan = getattr(node, "plan", None)
+        if plan is not None and plan.strategy == BIND_JOIN:
+            # Bind join: the left rows seed the right side's evaluation
+            # (sideways information passing), so its patterns probe with the
+            # already-bound slots instead of enumerating standalone.
+            return self._eval_seeded(node.right, left)
         right = list(self._eval(node.right))
         shared = self._node_slots(node.left) & self._node_slots(node.right)
         return iter(_join_rows(left, right, shared))
+
+    def _eval_seeded(self, node, rows):
+        """Evaluate ``node`` continuing from the given solution rows.
+
+        Supported for the operators the planner marks seedable (BGP, Union,
+        Filter); anything else falls back to standalone evaluation followed
+        by a hash join on the slots the seeds actually bind.
+        """
+        if isinstance(node, algebra.BGP):
+            return self._eval_bgp(node, seeds=rows)
+        if isinstance(node, algebra.Union):
+            def generate():
+                yield from self._eval_seeded(node.left, rows)
+                yield from self._eval_seeded(node.right, rows)
+
+            return generate()
+        if isinstance(node, algebra.Filter):
+            return self._filter_rows(
+                self._eval_seeded(node.operand, rows), node.expression
+            )
+        right = list(self._eval(node))
+        seeded_slots = set()
+        for row in rows:
+            for slot, cell in enumerate(row):
+                if cell is not None:
+                    seeded_slots.add(slot)
+        shared = self._node_slots(node) & seeded_slots
+        return iter(_join_rows(rows, right, shared))
 
     def _eval_left_join(self, node):
         """Hash-based left outer join (OPTIONAL).

@@ -1,0 +1,519 @@
+"""Cost-based join planning for the id-space engine.
+
+Section V of the paper frames SP2Bench's query mix as an optimizer stress
+test: Q4/Q5a/Q8 live or die by triple-pattern join order and filter
+placement, and the cross-engine results (Figures 6-8) largely separate
+engines by how well they plan joins.  The greedy reorder in
+:mod:`.optimizer` scores each pattern once with a static ``/10`` discount
+per bound variable; this module replaces that with an explicit *physical
+plan* derived from live :class:`~repro.store.statistics.StoreStatistics`:
+
+* **Cardinality propagation.**  Planning tracks the estimated intermediate
+  result size.  A candidate pattern's contribution is its standalone
+  cardinality refined by the *distinct-subject/object counts per predicate*
+  for every variable position already bound upstream — the average fan-out a
+  bound variable actually has, not a fixed guess.
+* **Star-join grouping.**  Patterns sharing a subject slot form a star
+  group (the dominant shape in real SPARQL logs per Bonifati et al.);
+  candidate ranking prefers continuing the star whose subject is already
+  bound, keeping star probes contiguous and cheap.
+* **Physical strategy per step.**  Each step is either an index
+  nested-loop ``probe`` (one index lookup per intermediate row) or a
+  ``scan`` of the pattern's extent hash-joined on the shared slots — chosen
+  by comparing the probe count against the scan cardinality.
+* **Bind joins across operators.**  A :class:`~repro.sparql.algebra.Join`
+  whose left side is estimated small seeds the evaluation of its right side
+  (sideways information passing) instead of evaluating it standalone and
+  hash-joining.  This is what keeps Q8's UNION branches anchored to the
+  single "Paul Erdoes" solution instead of enumerating every co-author pair
+  in the document.
+
+The planner is a pure function over the algebra tree: it returns a new tree
+whose BGP nodes carry a :class:`BGPPlan` (ordered steps with estimates) and
+whose Join nodes carry a :class:`JoinPlan`.  The id-space evaluator executes
+those plans verbatim; :class:`ExplainReport` renders them with the actual
+per-step cardinalities observed during an instrumented run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..rdf.terms import Variable
+from . import algebra
+from .bindings import _name
+
+#: Physical access strategies a plan step can choose from.
+PROBE = "probe"   # index nested-loop: probe the store once per intermediate row
+SCAN = "scan"     # scan the pattern extent once, hash-join on the shared slots
+
+#: Join-node strategies.
+HASH_JOIN = "hash"
+BIND_JOIN = "bind"
+
+#: Planner family names (the ``EngineConfig.planner`` axis).
+PLANNER_NONE = "none"
+PLANNER_GREEDY = "greedy"
+PLANNER_COST = "cost"
+
+#: Assumed selectivity of one inline FILTER conjunct (no value histograms).
+FILTER_SELECTIVITY = 0.5
+
+
+# ---------------------------------------------------------------------------
+# Plan representation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PlanStep:
+    """One pattern access in a planned basic graph pattern."""
+
+    pattern: object                 #: the triple pattern this step evaluates
+    strategy: str = PROBE           #: PROBE or SCAN
+    join_vars: tuple = ()           #: variable names shared with bound prefix
+    star: int = 0                   #: star-group id (patterns sharing a subject)
+    pattern_estimate: float = 0.0   #: standalone cardinality of the pattern
+    estimate: float = 0.0           #: estimated rows after this step (+ filters)
+    actual: Optional[int] = None    #: rows observed during an EXPLAIN run
+
+
+@dataclass
+class BGPPlan:
+    """Physical plan of one BGP: ordered steps plus summary estimates."""
+
+    steps: list = field(default_factory=list)
+    outer_bound: frozenset = frozenset()  #: variables bound before this BGP runs
+    estimate: float = 0.0                 #: estimated final cardinality
+    cost: float = 0.0                     #: summed intermediate-work estimate
+
+    def reset_actuals(self):
+        for step in self.steps:
+            step.actual = None
+
+
+@dataclass
+class JoinPlan:
+    """Strategy annotation for a Join node."""
+
+    strategy: str = HASH_JOIN
+    left_estimate: float = 0.0
+    right_estimate: float = 0.0
+
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+
+class CostModel:
+    """Cardinality estimation backed by store statistics.
+
+    Works at the term level (patterns are not dictionary-encoded yet).
+    Stores without a ``statistics`` attribute fall back to their
+    ``estimate_count`` access path with a fixed per-bound-variable discount.
+    """
+
+    #: Fallback divisor per bound variable when no statistics exist.
+    _FALLBACK_BOUND_DIVISOR = 4.0
+
+    def __init__(self, store):
+        self._store = store
+        self._stats = getattr(store, "statistics", None)
+        self._total_subjects = None
+        self._total_objects = None
+
+    def pattern_cardinality(self, pattern):
+        """Standalone estimate: only the pattern's constants are bound."""
+        subject, predicate, object_ = (
+            None if isinstance(term, Variable) else term for term in pattern
+        )
+        if self._stats is not None:
+            return float(self._stats.estimate(subject, predicate, object_))
+        if self._store is not None:
+            return float(self._store.estimate_count(subject, predicate, object_))
+        # No store at all: a static unbound-position heuristic.
+        return 10.0 ** sum(
+            1 for term in pattern if isinstance(term, Variable)
+        )
+
+    def matches_per_row(self, pattern, bound_names):
+        """Expected matches per intermediate row, given bound variables.
+
+        Starts from the standalone cardinality and divides by the number of
+        distinct values each already-bound variable position can take —
+        the classic attribute-independence refinement, but with the live
+        per-predicate distinct counts the statistics maintain.
+        """
+        estimate = self.pattern_cardinality(pattern)
+        if estimate <= 0:
+            return 0.0
+        stats = self._stats
+        predicate = pattern.predicate
+        if isinstance(predicate, Variable):
+            predicate = None
+        for position, term in (
+            ("subject", pattern.subject),
+            ("predicate", pattern.predicate),
+            ("object", pattern.object),
+        ):
+            if not (isinstance(term, Variable) and term.name in bound_names):
+                continue
+            if stats is None:
+                divisor = self._FALLBACK_BOUND_DIVISOR
+            elif position == "subject":
+                divisor = (
+                    stats.distinct_subjects(predicate)
+                    if predicate is not None
+                    else self._distinct_subject_total()
+                )
+            elif position == "object":
+                divisor = (
+                    stats.distinct_objects(predicate)
+                    if predicate is not None
+                    else self._distinct_object_total()
+                )
+            else:  # a bound predicate variable
+                divisor = stats.distinct_predicates()
+            estimate /= max(divisor, 1.0)
+        return estimate
+
+    def _distinct_subject_total(self):
+        if self._total_subjects is None:
+            self._total_subjects = self._stats.distinct_subject_total()
+        return self._total_subjects
+
+    def _distinct_object_total(self):
+        if self._total_objects is None:
+            self._total_objects = self._stats.distinct_object_total()
+        return self._total_objects
+
+
+# ---------------------------------------------------------------------------
+# BGP planning
+# ---------------------------------------------------------------------------
+
+def _pattern_variables(pattern):
+    return {term.name for term in pattern if isinstance(term, Variable)}
+
+
+def _star_key(pattern):
+    subject = pattern.subject
+    return subject.name if isinstance(subject, Variable) else subject
+
+
+def plan_bgp(patterns, inline_filters, model, outer_bound=frozenset(),
+             initial_rows=1.0, reorder=True, fixed_strategy=None):
+    """Plan one basic graph pattern.
+
+    Returns ``(ordered_patterns, remapped_inline_filters, BGPPlan)``.  With
+    ``reorder=False`` the given order is kept (used to describe the greedy /
+    unoptimized families for EXPLAIN); ``fixed_strategy`` forces every step
+    to PROBE or SCAN, mirroring a configured single-strategy engine.
+    """
+    star_groups = {}
+    for pattern in patterns:
+        star_groups.setdefault(_star_key(pattern), len(star_groups))
+
+    pending_filters = [expression for _position, expression in inline_filters]
+    remaining = list(patterns)
+    ordered = []
+    placed_filters = []
+    steps = []
+    bound = set(outer_bound)
+    rows = float(initial_rows)
+    cost = 0.0
+    previous_star = None
+
+    while remaining:
+        if reorder and len(remaining) > 1:
+            candidates = [
+                pattern for pattern in remaining
+                if not _pattern_variables(pattern)
+                or (_pattern_variables(pattern) & bound)
+            ] or remaining
+
+            def rank(pattern):
+                out = rows * model.matches_per_row(pattern, bound)
+                key = _star_key(pattern)
+                subject = pattern.subject
+                continues_star = (
+                    (isinstance(subject, Variable) and subject.name in bound)
+                    or key == previous_star
+                )
+                return (out, 0 if continues_star else 1,
+                        model.pattern_cardinality(pattern))
+
+            best = min(candidates, key=rank)
+        else:
+            best = remaining[0]
+        remaining.remove(best)
+
+        matches = model.matches_per_row(best, bound)
+        out = rows * matches
+        cardinality = model.pattern_cardinality(best)
+        if fixed_strategy is not None:
+            strategy = fixed_strategy
+        else:
+            strategy = PROBE if rows <= cardinality else SCAN
+        cost += (rows + out) if strategy == PROBE else (cardinality + rows + out)
+        position = len(ordered)
+        join_vars = tuple(sorted(_pattern_variables(best) & bound))
+        bound |= _pattern_variables(best)
+        ordered.append(best)
+
+        # Place every pushed filter at the earliest position where its
+        # variables are bound (outer context counts), shrinking the estimate.
+        still_pending = []
+        for expression in pending_filters:
+            needed = {variable.name for variable in expression.variables()}
+            if needed <= bound:
+                placed_filters.append((position, expression))
+                out *= FILTER_SELECTIVITY
+            else:
+                still_pending.append(expression)
+        pending_filters = still_pending
+
+        steps.append(PlanStep(
+            pattern=best,
+            strategy=strategy,
+            join_vars=join_vars,
+            star=star_groups[_star_key(best)],
+            pattern_estimate=cardinality,
+            estimate=out,
+        ))
+        rows = out
+        previous_star = _star_key(best)
+
+    # Filters whose variables never fully bind stay at the last position
+    # (they will evaluate unbound variables to an error -> effective false,
+    # same as the unplanned path).
+    last = max(len(ordered) - 1, 0)
+    for expression in pending_filters:
+        placed_filters.append((last, expression))
+
+    plan = BGPPlan(
+        steps=steps,
+        outer_bound=frozenset(outer_bound),
+        estimate=rows,
+        cost=cost,
+    )
+    return ordered, placed_filters, plan
+
+
+# ---------------------------------------------------------------------------
+# Tree planning
+# ---------------------------------------------------------------------------
+
+def plan_tree(tree, store):
+    """Cost-based planning pass over a whole algebra tree.
+
+    Reorders every BGP, chooses per-step physical strategies, decides
+    hash-versus-bind for Join nodes, and attaches the plans to the returned
+    (new) tree.  The input tree is not mutated.
+    """
+    model = CostModel(store)
+    planned, _estimate, _cost = _plan_node(tree, model, frozenset(), 1.0,
+                                           reorder=True, fixed_strategy=None)
+    return planned
+
+
+def annotate_tree(tree, store, strategy=PROBE):
+    """Attach descriptive plans without changing evaluation order.
+
+    Used by EXPLAIN for the ``none``/``greedy`` planner families: the tree
+    keeps its order and single physical strategy, but every BGP still gets
+    estimates so the rendered plan can show estimated-versus-actual rows.
+    """
+    model = CostModel(store)
+    annotated, _estimate, _cost = _plan_node(tree, model, frozenset(), 1.0,
+                                             reorder=False, fixed_strategy=strategy)
+    return annotated
+
+
+def _seedable(node):
+    """True when bind-join seeding preserves semantics for ``node``.
+
+    Seeding pushes the left rows *into* the right operand's evaluation;
+    that is only sound for operators that extend solutions monotonically.
+    A LeftJoin inside the right side must keep its standalone evaluation:
+    deciding matched-versus-unmatched against already-merged seed rows
+    would turn join failures into OPTIONAL pass-throughs.  A Filter is
+    seedable only when every variable of its expression is produced by its
+    own operand: a FILTER referencing a variable that is out of scope in
+    its group must see it *unbound* (error -> false, SPARQL filter
+    scoping), which seeding would silently bind.
+    """
+    if isinstance(node, algebra.BGP):
+        return True
+    if isinstance(node, algebra.Union):
+        return _seedable(node.left) and _seedable(node.right)
+    if isinstance(node, algebra.Filter):
+        produced = {_name(v) for v in node.operand.variables()}
+        needed = {v.name for v in node.expression.variables()}
+        return needed <= produced and _seedable(node.operand)
+    return False
+
+
+def _plan_node(node, model, outer, rows, reorder, fixed_strategy):
+    """Plan one node; returns ``(new_node, estimated_rows, estimated_cost)``."""
+    if isinstance(node, algebra.BGP):
+        if not node.patterns:
+            return node, rows, 0.0
+        ordered, filters, plan = plan_bgp(
+            node.patterns, node.inline_filters, model,
+            outer_bound=outer, initial_rows=rows,
+            reorder=reorder, fixed_strategy=fixed_strategy,
+        )
+        new = algebra.BGP(ordered, inline_filters=filters, plan=plan)
+        return new, plan.estimate, plan.cost
+
+    if isinstance(node, algebra.Join):
+        left, left_rows, left_cost = _plan_node(
+            node.left, model, outer, rows, reorder, fixed_strategy)
+        left_vars = {_name(v) for v in node.left.variables()}
+        # Hash option: the right side evaluates standalone.
+        hash_right, hash_rows, hash_cost_right = _plan_node(
+            node.right, model, outer, 1.0, reorder, fixed_strategy)
+        shared = left_vars & {_name(v) for v in node.right.variables()}
+        hash_out = max(left_rows, hash_rows) if shared else left_rows * hash_rows
+        hash_cost = left_cost + hash_cost_right + left_rows + hash_rows + hash_out
+        if reorder and _seedable(node.right):
+            # Bind option: seed the right side with the left rows.
+            bind_right, bind_rows, bind_cost_right = _plan_node(
+                node.right, model, outer | left_vars, left_rows,
+                reorder, fixed_strategy)
+            bind_cost = left_cost + bind_cost_right
+            if bind_cost < hash_cost:
+                plan = JoinPlan(BIND_JOIN, left_rows, bind_rows)
+                return (algebra.Join(left, bind_right, plan=plan),
+                        bind_rows, bind_cost)
+        plan = JoinPlan(HASH_JOIN, left_rows, hash_rows)
+        return algebra.Join(left, hash_right, plan=plan), hash_out, hash_cost
+
+    if isinstance(node, algebra.LeftJoin):
+        left, left_rows, left_cost = _plan_node(
+            node.left, model, outer, rows, reorder, fixed_strategy)
+        right, right_rows, right_cost = _plan_node(
+            node.right, model, outer, 1.0, reorder, fixed_strategy)
+        cost = left_cost + right_cost + left_rows + right_rows
+        return (algebra.LeftJoin(left, right, node.condition),
+                max(left_rows, 1.0) if left_rows else left_rows, cost)
+
+    if isinstance(node, algebra.Union):
+        left, left_rows, left_cost = _plan_node(
+            node.left, model, outer, rows, reorder, fixed_strategy)
+        right, right_rows, right_cost = _plan_node(
+            node.right, model, outer, rows, reorder, fixed_strategy)
+        return (algebra.Union(left, right),
+                left_rows + right_rows, left_cost + right_cost)
+
+    if isinstance(node, algebra.Filter):
+        operand, operand_rows, operand_cost = _plan_node(
+            node.operand, model, outer, rows, reorder, fixed_strategy)
+        return (algebra.Filter(node.expression, operand),
+                operand_rows * FILTER_SELECTIVITY, operand_cost + operand_rows)
+
+    if isinstance(node, (algebra.Project, algebra.Distinct, algebra.OrderBy,
+                         algebra.Slice, algebra.Ask, algebra.Group)):
+        if isinstance(node, algebra.Ask) and fixed_strategy is None:
+            # ASK stops at the first solution; force streaming PROBE steps so
+            # no SCAN materializes an intermediate result it will never need.
+            fixed_strategy = PROBE
+        operand, operand_rows, operand_cost = _plan_node(
+            node.operand, model, outer, rows, reorder, fixed_strategy)
+        estimate = operand_rows
+        if isinstance(node, algebra.Slice) and node.limit is not None:
+            estimate = min(estimate, float(node.limit))
+        return replace(node, operand=operand), estimate, operand_cost
+
+    return node, rows, 0.0
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN rendering
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExplainReport:
+    """A rendered query plan with estimated and observed cardinalities.
+
+    Produced by :meth:`repro.sparql.engine.SparqlEngine.explain`; ``actual``
+    columns are filled only when the query executed on the id-space path
+    (term-space execution is not instrumented).
+    """
+
+    tree: object
+    planner: str
+    engine: str
+    id_space: bool = True
+    result_count: int = 0
+    elapsed: float = 0.0
+
+    def plan_steps(self):
+        """Every PlanStep of every planned BGP, in tree pre-order."""
+        for node in algebra.walk(self.tree):
+            plan = getattr(node, "plan", None)
+            if isinstance(node, algebra.BGP) and plan is not None:
+                yield from plan.steps
+
+    def planned_patterns(self):
+        """The triple patterns of the plan, one entry per step."""
+        return [step.pattern for step in self.plan_steps()]
+
+    def render(self):
+        lines = [
+            f"plan: planner={self.planner} engine={self.engine} "
+            f"space={'id' if self.id_space else 'term'} "
+            f"rows={self.result_count} elapsed={self.elapsed:.3f}s"
+        ]
+        self._render_node(self.tree, 0, lines)
+        return "\n".join(lines)
+
+    __str__ = render
+
+    def _render_node(self, node, depth, lines):
+        pad = "  " * depth
+        if isinstance(node, algebra.BGP):
+            plan = getattr(node, "plan", None)
+            estimate = f" est={_fmt(plan.estimate)}" if plan is not None else ""
+            lines.append(f"{pad}BGP [{len(node.patterns)} patterns]{estimate}")
+            if plan is not None:
+                for index, step in enumerate(plan.steps, start=1):
+                    join = (
+                        " join=" + ",".join("?" + name for name in step.join_vars)
+                        if step.join_vars else ""
+                    )
+                    filters = len(node.filters_at(index - 1))
+                    filter_note = f" +{filters}filter" if filters else ""
+                    actual = "-" if step.actual is None else str(step.actual)
+                    lines.append(
+                        f"{pad}  {index}. [{step.strategy:<5}] "
+                        f"{step.pattern.n3()}{join}{filter_note} "
+                        f"est={_fmt(step.estimate)} actual={actual}"
+                    )
+            else:
+                for index, pattern in enumerate(node.patterns, start=1):
+                    lines.append(f"{pad}  {index}. {pattern.n3()}")
+            return
+        label = type(node).__name__
+        plan = getattr(node, "plan", None)
+        if isinstance(node, algebra.Join) and plan is not None:
+            label += (
+                f" [{plan.strategy}] left_est={_fmt(plan.left_estimate)} "
+                f"right_est={_fmt(plan.right_estimate)}"
+            )
+        elif isinstance(node, algebra.Filter):
+            label += f" ({node.expression})"
+        elif isinstance(node, algebra.OrderBy):
+            label += f" ({node.conditions})"
+        elif isinstance(node, algebra.Slice):
+            label += f" (limit={node.limit}, offset={node.offset})"
+        lines.append(pad + label)
+        for child in node.children():
+            self._render_node(child, depth + 1, lines)
+
+
+def _fmt(value):
+    if value >= 100 or value == int(value):
+        return str(int(round(value)))
+    return f"{value:.1f}"

@@ -81,6 +81,23 @@ class StoreStatistics:
         """Number of ``rdf:type`` instances of ``class_uri``."""
         return self.class_counts.get(class_uri, 0)
 
+    def distinct_predicates(self):
+        """Number of distinct predicates observed."""
+        return len(self.predicate_counts)
+
+    def distinct_subject_total(self):
+        """Number of distinct subjects across all predicates.
+
+        Linear in the number of (predicate, subject) pairs; the cost-based
+        planner memoizes it per planning pass (it is only needed for
+        variable-predicate patterns, Q9/Q10 style).
+        """
+        return len(self._all_subjects())
+
+    def distinct_object_total(self):
+        """Number of distinct objects across all predicates."""
+        return len(self._all_objects())
+
     # -- selectivity estimation ---------------------------------------------
 
     def estimate(self, subject, predicate, object):

@@ -1,6 +1,5 @@
 """Tests for the Figure 2 data series."""
 
-import pytest
 
 from repro.analysis import (
     citation_distribution_series,

@@ -67,6 +67,60 @@ class TestRun:
         assert [m.query_id for m in measurements] == ["Q1", "Q3c", "Q12c"]
 
 
+class TestOverallBudget:
+    """The harness budget is passed down and stops new query issuance."""
+
+    def test_exhausted_budget_classifies_without_executing(self, engine):
+        runner = QueryRunner(timeout=60.0)
+        queries = (get_query("Q1"), get_query("Q2"), get_query("Q3a"))
+        measurements = runner.run_many(engine, queries, overall_budget=0.0)
+        assert [m.status for m in measurements] == [TIMEOUT] * 3
+        assert all(m.elapsed == 0.0 for m in measurements)
+        assert all(m.result_size is None for m in measurements)
+        assert all("budget exhausted" in m.error for m in measurements)
+
+    def test_budget_stops_issuing_mid_suite(self, engine):
+        # Q2 consumes the whole budget; everything after it is classified as
+        # a timeout without being issued (elapsed stays 0).
+        runner = QueryRunner(timeout=60.0)
+        queries = (get_query("Q2"), get_query("Q1"), get_query("Q3a"))
+        measurements = runner.run_many(engine, queries, overall_budget=1e-4)
+        assert measurements[0].elapsed > 0.0          # was actually executed
+        assert measurements[0].status == TIMEOUT      # but blew the budget
+        assert [m.status for m in measurements[1:]] == [TIMEOUT, TIMEOUT]
+        assert all(m.elapsed == 0.0 for m in measurements[1:])
+
+    def test_remaining_budget_tightens_per_query_timeout(self, engine):
+        # The per-query timeout alone would classify this run as a success;
+        # the smaller remaining budget is what forces the timeout.
+        runner = QueryRunner(timeout=60.0)
+        measurement = runner.run(engine, get_query("Q2"), budget=1e-6)
+        assert measurement.status == TIMEOUT
+        assert measurement.elapsed > 1e-6
+
+    def test_generous_budget_changes_nothing(self, engine):
+        runner = QueryRunner(timeout=60.0)
+        queries = (get_query("Q1"), get_query("Q12c"))
+        measurements = runner.run_many(engine, queries, overall_budget=120.0)
+        assert [m.status for m in measurements] == [SUCCESS, SUCCESS]
+
+    def test_harness_overall_budget_classifies_whole_suite(self):
+        from repro.bench import BenchmarkHarness, ExperimentConfig
+        from repro.queries import get_query as query
+        from repro.sparql import NATIVE_OPTIMIZED
+
+        config = ExperimentConfig(
+            document_sizes=(500,),
+            engines=(NATIVE_OPTIMIZED,),
+            queries=(query("Q1"), query("Q3a"), query("Q12c")),
+            overall_budget=0.0,
+            trace_memory=False,
+        )
+        report = BenchmarkHarness(config).run()
+        assert report.measurements
+        assert all(m.status == TIMEOUT for m in report.measurements)
+
+
 class TestLoading:
     def test_time_loading_returns_ready_engine(self, generated_graph_small):
         engine, elapsed = time_loading(IN_MEMORY_BASELINE, generated_graph_small)

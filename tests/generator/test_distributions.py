@@ -1,6 +1,5 @@
 """Unit tests for the fitted distribution families (Section III constants)."""
 
-import math
 import random
 
 import pytest

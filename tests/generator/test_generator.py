@@ -13,7 +13,6 @@ from repro.rdf import (
     RDFS,
     SWRC,
     BNode,
-    Graph,
     parse_file,
     serialize,
 )

@@ -1,7 +1,5 @@
 """Property-based tests for SPARQL semantics invariants."""
 
-import string
-
 from hypothesis import given, settings, strategies as st
 
 from repro.rdf import DC, FOAF, RDF, BENCH, Literal, Triple, URIRef

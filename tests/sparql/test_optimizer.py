@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import BENCH, DC, RDF, FOAF, Literal, Triple, URIRef, Variable
+from repro.rdf import BENCH, DC, RDF, Literal, Triple, URIRef, Variable
 from repro.sparql import (
     NATIVE_BASELINE,
     NATIVE_OPTIMIZED,

@@ -1,6 +1,5 @@
 """Tests for graph-pattern result reuse (Table II row 5 optimization)."""
 
-import pytest
 
 from repro.rdf import BENCH, DC, FOAF, RDF, BNode, Graph, Literal, Triple, URIRef
 from repro.sparql import (

@@ -77,6 +77,22 @@ class TestEstimates:
 
 
 class TestForget:
+    def test_distinct_predicates(self):
+        assert build_statistics().distinct_predicates() == 3
+
+    def test_distinct_subject_total_spans_predicates(self):
+        # Subjects: a1, a2, p1 — counted once each across all predicates.
+        assert build_statistics().distinct_subject_total() == 3
+
+    def test_distinct_object_total_spans_predicates(self):
+        # Objects: Article, Proceedings, "1--10", "11--20", alice, bob.
+        assert build_statistics().distinct_object_total() == 6
+
+    def test_distinct_totals_track_removal(self):
+        statistics = build_statistics()
+        statistics.forget(Triple(uri("a2"), uri("creator"), uri("bob")))
+        assert statistics.distinct_object_total() == 5
+
     def test_forget_is_inverse_of_observe(self):
         statistics = build_statistics()
         statistics.forget(Triple(uri("a1"), uri("creator"), uri("alice")))

@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+CI machines differ in absolute speed from whatever machine produced the
+baseline, so raw seconds cannot be compared.  Instead, every benchmark's
+mean time is *normalized by the geometric mean of all benchmarks shared by
+both runs* — a machine twice as fast shrinks every time and the ratios
+cancel.  A benchmark regresses when its normalized time exceeds the
+baseline's normalized time by more than the threshold factor, i.e. when it
+got slower *relative to the rest of the suite*.
+
+Usage:
+    python tools/compare_benchmarks.py benchmarks/baseline.json results.json
+    python tools/compare_benchmarks.py benchmarks/baseline.json results.json \
+        --threshold 1.25
+    python tools/compare_benchmarks.py benchmarks/baseline.json results.json \
+        --update            # rewrite the baseline from the current results
+
+``results.json`` is the file produced by ``pytest --benchmark-json``; the
+baseline is this script's own compact schema (``{"means": {name: secs}}``).
+Benchmarks present on only one side are reported but never fail the gate
+(new benchmarks need a baseline refresh, not a red build).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_baseline(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if "means" not in data:
+        raise SystemExit(f"{path}: not a baseline file (missing 'means')")
+    return data["means"]
+
+
+def load_results(path):
+    """Mean times by benchmark name from a pytest-benchmark JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    means = {}
+    for bench in data.get("benchmarks", ()):
+        name = bench.get("name")
+        stats = bench.get("stats") or {}
+        mean = stats.get("mean")
+        if name and isinstance(mean, (int, float)) and mean > 0:
+            means[name] = float(mean)
+    if not means:
+        raise SystemExit(f"{path}: no benchmark timings found")
+    return means
+
+
+def geometric_mean(values):
+    values = [max(value, 1e-9) for value in values]
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def normalized(means, names, scale_names=None):
+    scale = geometric_mean([means[name] for name in (scale_names or names)])
+    return {name: means[name] / scale for name in names}
+
+
+def compare(baseline, current, threshold, min_time=0.0, gate_prefix=""):
+    """Return (regressions, report_lines) for the shared benchmark set.
+
+    Benchmarks faster than ``min_time`` in *both* runs are reported but can
+    never fail the gate: their timings are dominated by scheduler and
+    allocator noise, not by query work.  When ``gate_prefix`` is non-empty,
+    only benchmarks whose name starts with it can fail the gate; everything
+    else is compared informationally.
+    """
+    shared = sorted(set(baseline) & set(current))
+    lines = []
+    regressions = []
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+    if not shared:
+        lines.append("no shared benchmarks between baseline and current run")
+        return regressions, lines
+    # Normalize over the gated subset when one is selected: a volatile
+    # non-gated benchmark must not shift the geomean and manufacture (or
+    # mask) regressions in the queries the gate actually protects.
+    scale_names = [name for name in shared if name.startswith(gate_prefix)]
+    if len(scale_names) < 2:
+        scale_names = shared
+    base_norm = normalized(baseline, shared, scale_names)
+    curr_norm = normalized(current, shared, scale_names)
+    width = max(len(name) for name in shared)
+    for name in shared:
+        ratio = curr_norm[name] / max(base_norm[name], 1e-9)
+        noise_floor = baseline[name] < min_time and current[name] < min_time
+        gated = name.startswith(gate_prefix)
+        marker = ""
+        if ratio > threshold and gated and not noise_floor:
+            marker = "  << REGRESSION"
+            regressions.append((name, ratio))
+        elif ratio > threshold and not gated:
+            marker = "  (over threshold, informational — outside gate)"
+        elif ratio > threshold and noise_floor:
+            marker = "  (over threshold but below noise floor)"
+        elif ratio < 1.0 / threshold:
+            marker = "  (improved)"
+        lines.append(
+            f"  {name:<{width}}  baseline={baseline[name] * 1e3:9.3f}ms  "
+            f"current={current[name] * 1e3:9.3f}ms  "
+            f"normalized-ratio={ratio:5.2f}{marker}"
+        )
+    for name in only_baseline:
+        lines.append(f"  {name}: in baseline only (skipped)")
+    for name in only_current:
+        lines.append(f"  {name}: new benchmark, no baseline yet (skipped)")
+    return regressions, lines
+
+
+def write_baseline(path, means, source):
+    data = {
+        "schema": "sp2bench-baseline-v1",
+        "normalization": "geometric-mean of shared benchmarks",
+        "source": source,
+        "means": {name: means[name] for name in sorted(means)},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON (own schema)")
+    parser.add_argument("results", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="allowed normalized slow-down factor (default 1.25)")
+    parser.add_argument("--min-time", type=float, default=0.002,
+                        help="seconds below which timings are treated as noise "
+                             "and never fail the gate (default 0.002)")
+    parser.add_argument("--gate-prefix", default="",
+                        help="only benchmarks starting with this prefix can "
+                             "fail the gate (others compare informationally)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the current results")
+    args = parser.parse_args(argv)
+
+    current = load_results(args.results)
+    if args.update:
+        write_baseline(args.baseline, current, source=args.results)
+        print(f"baseline {args.baseline} updated with {len(current)} benchmarks")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    regressions, lines = compare(baseline, current, args.threshold,
+                                 min_time=args.min_time,
+                                 gate_prefix=args.gate_prefix)
+    print(f"benchmark regression gate (threshold {args.threshold:.2f}x, "
+          "normalized by run geomean)")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed:")
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x over baseline")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
