@@ -24,10 +24,12 @@ def catalog_engine(medium_graph):
 @pytest.mark.parametrize("query_id", [query.identifier for query in ALL_QUERIES])
 def test_catalog_query(benchmark, catalog_engine, query_id):
     query_text = get_query(query_id).text
-    # One warm-up evaluation, then two timed rounds: enough signal for the
-    # shape-based regression comparison without dominating suite runtime.
+    # One warm-up evaluation, then three timed rounds: enough signal for the
+    # shape-based regression comparison without dominating suite runtime
+    # (sub-noise-floor queries are additionally exempted by the gate's
+    # --min-time so single-scheduler hiccups cannot fail the build).
     result = benchmark.pedantic(
         lambda: catalog_engine.query(query_text),
-        rounds=2, iterations=1, warmup_rounds=1,
+        rounds=3, iterations=1, warmup_rounds=1,
     )
     assert result is not None

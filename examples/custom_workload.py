@@ -14,7 +14,7 @@ import tempfile
 from pathlib import Path
 
 from repro import DblpGenerator, GeneratorConfig, SparqlEngine, get_query
-from repro.rdf import parse_file
+from repro.rdf import load_into
 from repro.sparql import IN_MEMORY_OPTIMIZED
 
 
@@ -31,10 +31,11 @@ def main():
         stats = generate_to_file(path, triple_limit=5_000)
         print(f"document characteristics: {stats['class_totals']}")
 
-        # Reload from disk, as a downstream engine would.
-        graph = parse_file(path)
-        engine = SparqlEngine.from_graph(graph, IN_MEMORY_OPTIMIZED)
-        print(f"\nreloaded {len(graph)} triples into the {engine.config.name} engine")
+        # Reload from disk, as a downstream engine would: parse_file streams,
+        # load_into feeds the store directly — no intermediate Graph.
+        engine = SparqlEngine(IN_MEMORY_OPTIMIZED)
+        count = load_into(engine.store, path)
+        print(f"\nreloaded {count} triples into the {engine.config.name} engine")
 
         # Catalog queries work on the reloaded document.
         print(f"Q1  -> {engine.query(get_query('Q1').text).rows()}")

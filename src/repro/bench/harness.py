@@ -46,6 +46,11 @@ class ExperimentConfig:
     overall_budget: float = None
     generator_seed: int = 823645187
     trace_memory: bool = True
+    #: Directory of the dataset cache.  When set, documents resolve through
+    #: :class:`~repro.cache.DatasetCache` — built at most once per machine
+    #: and configuration, loaded from a store snapshot afterwards.  ``None``
+    #: keeps the original generate-every-run behaviour.
+    cache_dir: str = None
 
 
 @dataclass
@@ -118,15 +123,35 @@ class BenchmarkHarness:
         self.config = config or ExperimentConfig()
 
     def generate_documents(self):
-        """Generate one graph per configured document size.
+        """Produce one document per configured size.
 
-        Returns ``{size: (graph, generation_seconds, stats_dict)}``.
+        Returns ``{size: (document, setup_seconds, stats_dict)}`` where the
+        document is an iterable of triples: a :class:`~repro.rdf.graph.Graph`
+        when generating directly, or the snapshot-backed store when
+        ``config.cache_dir`` routes resolution through the dataset cache (a
+        cached size costs a snapshot load instead of a full generation, so a
+        sweep builds each size at most once per machine).
         """
+        cache = None
+        if self.config.cache_dir is not None:
+            from ..cache import DatasetCache
+
+            cache = DatasetCache(self.config.cache_dir)
         documents = {}
         for size in self.config.document_sizes:
-            generator = DblpGenerator(
-                GeneratorConfig(triple_limit=size, seed=self.config.generator_seed)
+            generator_config = GeneratorConfig(
+                triple_limit=size, seed=self.config.generator_seed
             )
+            if cache is not None:
+                resolved = cache.resolve(generator_config)
+                # Table III must report *generation* time even on a warm
+                # cache, where the actual setup cost was a snapshot load —
+                # the cache recalls the build-time measurement for that.
+                documents[size] = (
+                    resolved.store, resolved.generation_time, resolved.statistics
+                )
+                continue
+            generator = DblpGenerator(generator_config)
             start = time.perf_counter()
             graph = generator.graph()
             elapsed = time.perf_counter() - start

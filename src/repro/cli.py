@@ -1,17 +1,24 @@
-"""Command-line entry points: generate data, run queries, run the benchmark.
+"""Command-line entry points: generate, build, query, bench, cache admin.
 
 Console scripts are installed via ``pyproject.toml``:
 
 ``repro``
-    The dispatching entry point: ``repro {generate|query|bench} ...``.
+    The dispatching entry point:
+    ``repro {generate|build|query|bench|cache} ...``.
     ``repro query --explain`` prints the physical query plan with estimated
-    and actual per-step cardinalities.
+    and actual per-step cardinalities; ``repro query`` also accepts ``.sp2b``
+    snapshot paths, which skip parsing and store building entirely.
+    ``repro build`` fills the dataset cache; ``repro cache {list,clear,key}``
+    administers it (``key`` prints the composite key CI uses for
+    ``actions/cache``).
 ``sp2bench-generate``
-    Generate a DBLP-like document and write it as N-Triples.
+    Generate a DBLP-like document and write it as N-Triples
+    (``--save-snapshot`` additionally writes the built ``.sp2b`` store).
 ``sp2bench-query``
     Run one benchmark query (or an ad-hoc query file) against a document.
 ``sp2bench-bench``
-    Run the full benchmark harness and print the paper's result tables.
+    Run the full benchmark harness and print the paper's result tables;
+    documents resolve through the dataset cache unless ``--no-cache``.
 """
 
 from __future__ import annotations
@@ -19,23 +26,29 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 
 from .bench.harness import DEFAULT_DOCUMENT_SIZES, ExperimentConfig, BenchmarkHarness
 from .bench import reporting
+from .cache import DatasetCache, combined_cache_key, dataset_key, default_cache_dir
 from .generator.config import GeneratorConfig
 from .generator.generator import DblpGenerator
 from .queries.catalog import ALL_QUERIES, get_query
-from .rdf.ntriples import parse_file
+from .rdf.ntriples import load_into, serialize_triple
 from .sparql.engine import (
     ENGINE_PRESETS,
     NATIVE_COST,
     NATIVE_OPTIMIZED,
     SparqlEngine,
 )
+from .store import IndexedStore, load_snapshot
 
 #: Engine configurations selectable from the command line: the paper's four
 #: presets plus the cost-based planner profile.
 CLI_ENGINE_CONFIGS = ENGINE_PRESETS + (NATIVE_COST,)
+
+#: File suffix identifying store snapshots on the command line.
+SNAPSHOT_SUFFIX = ".sp2b"
 
 
 def generate_main(argv=None):
@@ -48,6 +61,10 @@ def generate_main(argv=None):
                         help="simulate up to this year instead of a triple limit")
     parser.add_argument("--seed", type=int, default=GeneratorConfig.seed,
                         help="random seed (default: %(default)s)")
+    parser.add_argument("--save-snapshot", action="store_true",
+                        help="also write a <output stem>.sp2b store snapshot "
+                             "next to the document so later `repro query` "
+                             "runs skip parsing and loading")
     args = parser.parse_args(argv)
 
     config = GeneratorConfig(
@@ -57,18 +74,132 @@ def generate_main(argv=None):
     )
     generator = DblpGenerator(config)
     start = time.perf_counter()
-    count = generator.write(args.output)
+    if args.save_snapshot:
+        # Tee one generator pass into both the document and a built store.
+        store = IndexedStore()
+        count = 0
+        with open(args.output, "w", encoding="utf-8") as handle:
+            for triple in generator.triples():
+                handle.write(serialize_triple(triple))
+                handle.write("\n")
+                store.add(triple)
+                count += 1
+    else:
+        count = generator.write(args.output)
     elapsed = time.perf_counter() - start
     stats = generator.statistics.as_dict()
     print(f"wrote {count} triples to {args.output} in {elapsed:.2f}s "
           f"(data up to {stats['data_up_to_year']})")
+    if args.save_snapshot:
+        snapshot_path = _snapshot_path_for(args.output)
+        store.save(snapshot_path, metadata={"statistics": stats})
+        print(f"saved store snapshot to {snapshot_path}")
+    return 0
+
+
+def _snapshot_path_for(output):
+    return str(Path(output).with_suffix(SNAPSHOT_SUFFIX))
+
+
+def build_main(argv=None):
+    """Entry point of ``repro build``: fill the dataset cache."""
+    parser = argparse.ArgumentParser(
+        description="Build dataset snapshots into the cache (generate once, "
+                    "load everywhere)."
+    )
+    parser.add_argument("--triples", type=int, nargs="+",
+                        default=list(DEFAULT_DOCUMENT_SIZES),
+                        help="document sizes to build (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=GeneratorConfig.seed,
+                        help="generator seed (default: %(default)s)")
+    parser.add_argument("--store", choices=("indexed", "memory"), default="indexed",
+                        help="store family to snapshot (default: indexed)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: $SP2B_CACHE_DIR or "
+                             "~/.cache/sp2bench)")
+    parser.add_argument("--force", action="store_true",
+                        help="rebuild entries even when already cached")
+    args = parser.parse_args(argv)
+
+    cache = DatasetCache(args.cache_dir)
+    for size in args.triples:
+        config = GeneratorConfig(triple_limit=size, seed=args.seed)
+        if args.force:
+            cache.remove(config, args.store)
+        resolved = cache.resolve(config, args.store)
+        verb = "cached" if resolved.hit else "built "
+        print(f"{verb} {size:>9} triples in {resolved.elapsed:6.2f}s -> {resolved.path}")
+    return 0
+
+
+def cache_main(argv=None):
+    """Entry point of ``repro cache``: list/clear/key the dataset cache."""
+    parser = argparse.ArgumentParser(description="Administer the dataset cache.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list cached dataset snapshots")
+    clear_parser = sub.add_parser("clear", help="delete all cached snapshots")
+    key_parser = sub.add_parser(
+        "key", help="print the composite cache key for a set of document sizes "
+                    "(used to key the CI actions/cache step)"
+    )
+    prune_parser = sub.add_parser(
+        "prune", help="delete snapshots not matching the given sizes (CI runs "
+                      "this so restore-keys fallbacks cannot grow the saved "
+                      "cache without bound)"
+    )
+    for sub_parser in (list_parser, clear_parser, key_parser, prune_parser):
+        sub_parser.add_argument("--cache-dir", default=None,
+                                help="cache directory (default: $SP2B_CACHE_DIR "
+                                     "or ~/.cache/sp2bench)")
+    for sub_parser in (key_parser, prune_parser):
+        sub_parser.add_argument("--sizes",
+                                default=",".join(map(str, DEFAULT_DOCUMENT_SIZES)),
+                                help="comma-separated document sizes "
+                                     "(default: %(default)s)")
+        sub_parser.add_argument("--seed", type=int, default=GeneratorConfig.seed,
+                                help="generator seed (default: %(default)s)")
+        sub_parser.add_argument("--store", choices=("indexed", "memory"),
+                                default="indexed",
+                                help="store family (default: indexed)")
+    args = parser.parse_args(argv)
+
+    cache = DatasetCache(args.cache_dir)
+    if args.command == "list":
+        entries = cache.entries()
+        if not entries:
+            print(f"cache {cache.root} is empty")
+            return 0
+        total = 0
+        for entry in entries:
+            triples = entry.metadata.get("triples", "?")
+            total += entry.size_bytes
+            print(f"  {entry.key:<40} {triples:>9} triples "
+                  f"{entry.size_bytes / 1e6:8.2f} MB")
+        print(f"{len(entries)} snapshot(s), {total / 1e6:.2f} MB in {cache.root}")
+        return 0
+    if args.command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} snapshot(s) from {cache.root}")
+        return 0
+    sizes = [int(size) for size in str(args.sizes).replace(",", " ").split()]
+    configs = [GeneratorConfig(triple_limit=size, seed=args.seed) for size in sizes]
+    if args.command == "prune":
+        keep = [dataset_key(config, args.store) for config in configs]
+        removed = cache.prune(keep)
+        print(f"pruned {removed} snapshot(s) from {cache.root} "
+              f"(kept up to {len(keep)})")
+        return 0
+    # args.command == "key"
+    print(combined_cache_key(configs, args.store))
     return 0
 
 
 def query_main(argv=None):
     """Entry point of ``sp2bench-query``."""
     parser = argparse.ArgumentParser(description="Run SP2Bench queries on an RDF document.")
-    parser.add_argument("document", help="N-Triples file to query")
+    parser.add_argument("document",
+                        help="N-Triples file (or .sp2b store snapshot) to query")
     parser.add_argument("--query", default="Q1",
                         help="benchmark query id (Q1..Q12c) or path to a SPARQL file")
     parser.add_argument("--engine", default=NATIVE_OPTIMIZED.name,
@@ -81,9 +212,14 @@ def query_main(argv=None):
                              "and actual per-step cardinalities")
     args = parser.parse_args(argv)
 
-    graph = parse_file(args.document)
     config = next(c for c in CLI_ENGINE_CONFIGS if c.name == args.engine)
-    engine = SparqlEngine.from_graph(graph, config)
+    if args.document.endswith(SNAPSHOT_SUFFIX):
+        # The fast path: rebuild the store from its snapshot — no parsing,
+        # no per-triple loading.
+        engine = SparqlEngine.from_store(load_snapshot(args.document), config)
+    else:
+        engine = SparqlEngine(config)
+        load_into(engine.store, args.document)
 
     try:
         query_text = get_query(args.query).text
@@ -121,8 +257,17 @@ def bench_main(argv=None):
     parser.add_argument("--queries", nargs="+", default=None,
                         help="subset of query ids to run (default: all 17)")
     parser.add_argument("--runs", type=int, default=1, help="runs per query (default: 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="dataset cache directory (default: $SP2B_CACHE_DIR "
+                             "or ~/.cache/sp2bench)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="regenerate documents instead of using the dataset cache")
     args = parser.parse_args(argv)
 
+    if args.no_cache:
+        cache_dir = None
+    else:
+        cache_dir = str(args.cache_dir or default_cache_dir())
     queries = ALL_QUERIES if args.queries is None else tuple(
         get_query(identifier) for identifier in args.queries
     )
@@ -131,6 +276,7 @@ def bench_main(argv=None):
         queries=queries,
         timeout=args.timeout,
         runs=args.runs,
+        cache_dir=cache_dir,
     )
     report = BenchmarkHarness(config).run()
     print(reporting.full_report(report))
@@ -139,10 +285,16 @@ def bench_main(argv=None):
 
 def main(argv=None):
     """Dispatching entry point (``repro <command>`` / ``python -m repro.cli``)."""
-    commands = {"generate": generate_main, "query": query_main, "bench": bench_main}
+    commands = {
+        "generate": generate_main,
+        "build": build_main,
+        "query": query_main,
+        "bench": bench_main,
+        "cache": cache_main,
+    }
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] not in commands:
-        print("usage: repro {generate|query|bench} [options]", file=sys.stderr)
+        print("usage: repro {generate|build|query|bench|cache} [options]", file=sys.stderr)
         return 2
     return commands[argv[0]](argv[1:])
 

@@ -112,16 +112,20 @@ class AuthorPool:
         population = self.persons
         weights = [1.0 + person.publication_count for person in population]
         count = min(count, len(population))
-        chosen = set()
+        # Insertion-ordered dict, not a set: Person hashes by identity, so a
+        # set would return the selection in memory-address order and make the
+        # generated document depend on the process — the paper requires the
+        # output to be a pure function of the configuration.
+        chosen = {}
         guard = 0
         while len(chosen) < count and guard < count * 20:
             person = self._rng.choices(population, weights=weights, k=1)[0]
-            chosen.add(person)
+            chosen[person] = None
             guard += 1
         # Top up deterministically if rejection sampling under-filled.
         if len(chosen) < count:
             for person in population:
-                chosen.add(person)
+                chosen[person] = None
                 if len(chosen) >= count:
                     break
         return list(chosen)

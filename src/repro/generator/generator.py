@@ -118,6 +118,16 @@ class DblpGenerator:
         """Materialize the generated document as a :class:`Graph`."""
         return Graph(self.triples())
 
+    def generate_into(self, store):
+        """Stream the generated document straight into a triple store.
+
+        Feeds :meth:`triples` to the store's bulk loader, so nothing is
+        materialized between the simulation and the store — the build half of
+        the generate-once/snapshot-everywhere dataset pipeline.  Returns the
+        number of triples added (duplicates collapse in the store).
+        """
+        return store.bulk_load(self.triples())
+
     def write(self, path):
         """Stream the generated document to an N-Triples file; returns count."""
         count = 0

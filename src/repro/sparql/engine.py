@@ -122,9 +122,11 @@ ENGINE_PRESETS = (
 class SparqlEngine:
     """A queryable SPARQL engine over a loaded RDF document."""
 
-    def __init__(self, config=None):
+    def __init__(self, config=None, store=None):
         self.config = config or NATIVE_OPTIMIZED
-        self.store = self.config.create_store()
+        # An explicit store (e.g. one rebuilt from a snapshot) bypasses
+        # create_store(); the caller vouches that it matches the profile.
+        self.store = store if store is not None else self.config.create_store()
 
     # -- loading -----------------------------------------------------------
 
@@ -138,6 +140,22 @@ class SparqlEngine:
         engine = cls(config)
         engine.load(graph)
         return engine
+
+    @classmethod
+    def from_store(cls, store, config=None):
+        """Wrap an already-built store (snapshot loads, shared-store setups).
+
+        When the configured profile asks for a different store family than
+        ``store`` provides, the triples are bulk-copied into a store of the
+        configured type so the engine's cost model stays truthful.
+        """
+        config = config or NATIVE_OPTIMIZED
+        expects_ids = config.store_type == "indexed"
+        if expects_ids != bool(getattr(store, "supports_id_access", False)):
+            converted = config.create_store()
+            converted.bulk_load(store.triples())
+            store = converted
+        return cls(config, store=store)
 
     # -- query pipeline -----------------------------------------------------
 

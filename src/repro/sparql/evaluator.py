@@ -47,6 +47,7 @@ from .bindings import EMPTY_BINDING, Binding
 from .errors import EvaluationError
 from .expressions import effective_boolean_value
 from .idspace import NESTED_LOOP, SCAN_HASH, IdSpaceEvaluation, reduce_numbers
+from .planner import BIND_JOIN
 
 _STRATEGIES = (NESTED_LOOP, SCAN_HASH)
 
@@ -232,8 +233,53 @@ class Evaluator:
         left = list(self._eval(node.left))
         if not left:
             return iter(())
+        plan = getattr(node, "plan", None)
+        if plan is not None and plan.strategy == BIND_JOIN:
+            # A bind-join plan reordered the right side (and placed its
+            # inline filters) under the assumption that the left rows seed
+            # its evaluation; executing it standalone would let a filter run
+            # before its variables are bound.  Honour the plan.
+            return self._eval_seeded(node.right, left)
         right = list(self._eval(node.right))
         return iter(_hash_join(left, right))
+
+    def _eval_seeded(self, node, bindings):
+        """Evaluate ``node`` continuing from existing solutions (bind join).
+
+        The term-space counterpart of the id-space evaluator's seeded
+        execution: supported for the operators the planner marks seedable
+        (BGP, Union, Filter); anything else falls back to standalone
+        evaluation followed by a hash join.
+        """
+        if isinstance(node, algebra.BGP):
+            return self._bgp_seeded(node, bindings)
+        if isinstance(node, algebra.Union):
+            def generate():
+                yield from self._eval_seeded(node.left, list(bindings))
+                yield from self._eval_seeded(node.right, list(bindings))
+
+            bindings = list(bindings)
+            return generate()
+        if isinstance(node, algebra.Filter):
+            expression = node.expression
+            return (
+                binding
+                for binding in self._eval_seeded(node.operand, bindings)
+                if effective_boolean_value(expression, binding)
+            )
+        right = list(self._eval(node))
+        return iter(_hash_join(list(bindings), right))
+
+    def _bgp_seeded(self, node, bindings):
+        """Extend seed solutions through a BGP's patterns (probe per row)."""
+        if not node.patterns:
+            return iter(bindings)
+        solutions = iter(bindings)
+        for position, pattern in enumerate(node.patterns):
+            solutions = self._extend_by_pattern(solutions, pattern)
+            for expression in node.filters_at(position):
+                solutions = self._apply_inline_filter(solutions, expression)
+        return solutions
 
     def _eval_left_join(self, node):
         """Hash-based left outer join (OPTIONAL).

@@ -13,6 +13,16 @@ from .base import TripleStore
 from .dictionary import TermDictionary
 from .indexed_store import IndexedStore
 from .memory_store import MemoryStore
+from .snapshot import (
+    FORMAT_VERSION as SNAPSHOT_FORMAT_VERSION,
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotVersionError,
+    load_snapshot,
+    read_snapshot_metadata,
+    save_snapshot,
+)
 from .statistics import StoreStatistics
 
 __all__ = [
@@ -21,4 +31,12 @@ __all__ = [
     "IndexedStore",
     "TermDictionary",
     "StoreStatistics",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotVersionError",
+    "SnapshotCorruptError",
+    "save_snapshot",
+    "load_snapshot",
+    "read_snapshot_metadata",
 ]

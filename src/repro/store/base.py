@@ -51,6 +51,17 @@ class TripleStore(abc.ABC):
                 added += 1
         return added
 
+    def bulk_load(self, triples):
+        """Stream an iterable of triples into the store.  Returns count added.
+
+        The sink end of the streaming pipelines (``ntriples.load_into``,
+        ``DblpGenerator.generate_into``): the iterable is consumed lazily, so
+        no intermediate list or Graph is ever materialized.  The default
+        delegates to :meth:`load_graph`; backends with cheaper bulk insert
+        paths may override.
+        """
+        return self.load_graph(triples)
+
     def contains(self, triple):
         """True if the exact ground triple is stored."""
         for _match in self.triples(triple.subject, triple.predicate, triple.object):

@@ -23,6 +23,21 @@ class TermDictionary:
         self._term_to_id = {}
         self._id_to_term = []
 
+    @classmethod
+    def from_terms(cls, terms):
+        """Bulk-construct a dictionary whose ids are the positions of ``terms``.
+
+        The snapshot loader uses this to rebuild a dictionary in two C-level
+        passes instead of re-encoding term by term; ``terms`` must be free of
+        duplicates (it is the serialized ``_id_to_term`` list).
+        """
+        dictionary = cls()
+        dictionary._id_to_term = list(terms)
+        dictionary._term_to_id = {
+            term: term_id for term_id, term in enumerate(dictionary._id_to_term)
+        }
+        return dictionary
+
     def encode(self, term):
         """Return the id for ``term``, assigning a fresh one if unseen."""
         existing = self._term_to_id.get(term)

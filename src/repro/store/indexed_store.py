@@ -30,6 +30,8 @@ Two access levels are exposed:
 
 from __future__ import annotations
 
+from itertools import islice
+
 from ..rdf.triple import Triple
 from .base import TripleStore
 from .dictionary import TermDictionary
@@ -37,6 +39,31 @@ from .statistics import StoreStatistics
 
 #: Shared empty set returned for index misses (never mutated).
 _EMPTY = frozenset()
+
+
+def _rebuild_index(triples, image):
+    """Rebuild one hash index from a grouped snapshot image.
+
+    ``image`` is ``(single_keys, single_members, multi_keys, multi_counts,
+    multi_members)`` with members given as positions into ``triples``.  The
+    multi buckets are materialized through C-level ``set``/``islice``
+    construction and the (dominant) singleton buckets through a plain
+    assignment loop — together roughly 3x cheaper than replaying per-triple
+    ``setdefault(...).add(...)`` churn for every index entry.
+    """
+    single_keys, single_members, multi_keys, multi_counts, multi_members = image
+    member = triples.__getitem__
+    multi_iter = map(member, multi_members)
+    index = {
+        key: set(islice(multi_iter, count))
+        for key, count in zip(multi_keys, multi_counts)
+    }
+    # Singleton buckets dominate (the sp/po/so keys are mostly unique); build
+    # them without any per-bucket Python frame: zip() wraps each member triple
+    # in a 1-tuple and map(set, ...) turns it into its singleton bucket, so
+    # the whole stream runs inside the C iterator protocol.
+    index.update(zip(single_keys, map(set, zip(map(member, single_members)))))
+    return index
 
 
 class IndexedStore(TripleStore):
@@ -59,6 +86,101 @@ class IndexedStore(TripleStore):
         self.statistics = StoreStatistics()
         if triples is not None:
             self.load_graph(triples)
+
+    # -- bulk construction --------------------------------------------------
+
+    @classmethod
+    def from_id_triples(cls, dictionary, id_triples, statistics=None):
+        """Bulk-construct a store from a dictionary and raw id 3-tuples.
+
+        This is the snapshot/bulk-load entry point: the caller supplies an
+        already-populated :class:`TermDictionary` and the id-triple set, so
+        construction skips per-triple term encoding.  When ``statistics`` is
+        given (e.g. deserialized from a snapshot) the per-triple statistics
+        observation is skipped as well; otherwise statistics are recomputed
+        in one pass over the loaded triples.
+        """
+        store = cls()
+        store._dictionary = dictionary
+        store.bulk_add_ids(id_triples)
+        if statistics is None:
+            statistics = store._recompute_statistics()
+        store.statistics = statistics
+        return store
+
+    @classmethod
+    def _from_snapshot(cls, dictionary, triples, index_images, statistics):
+        """Assemble a store from deserialized snapshot sections (trusted)."""
+        store = cls()
+        store._dictionary = dictionary
+        store._spo = set(triples)
+        (store._by_s, store._by_p, store._by_o,
+         store._by_sp, store._by_po, store._by_so) = (
+            _rebuild_index(triples, image) for image in index_images
+        )
+        store.statistics = statistics
+        return store
+
+    def bulk_add_ids(self, id_triples):
+        """Insert raw id 3-tuples in bulk; returns the number actually added.
+
+        The bulk path of :meth:`from_id_triples`: indexes are maintained with
+        a tightened insert loop, but **statistics are deliberately not
+        updated** — callers either install deserialized statistics or call
+        :meth:`_recompute_statistics` once afterwards.  All ids must already
+        be valid for this store's dictionary.
+        """
+        spo = self._spo
+        by_s, by_p, by_o = self._by_s, self._by_p, self._by_o
+        by_sp, by_po, by_so = self._by_sp, self._by_po, self._by_so
+        added = 0
+        for ids in id_triples:
+            ids = tuple(ids)
+            if ids in spo:
+                continue
+            spo.add(ids)
+            s, p, o = ids
+            for index, key in (
+                (by_s, s), (by_p, p), (by_o, o),
+                (by_sp, (s, p)), (by_po, (p, o)), (by_so, (s, o)),
+            ):
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = {ids}
+                else:
+                    bucket.add(ids)
+            added += 1
+        return added
+
+    def _recompute_statistics(self):
+        """Rebuild :class:`StoreStatistics` from the stored id-triples."""
+        statistics = StoreStatistics()
+        decode = self._dictionary.decode
+        for s_id, p_id, o_id in self._spo:
+            statistics.observe(Triple(decode(s_id), decode(p_id), decode(o_id)))
+        return statistics
+
+    def _index_table(self):
+        """The six hash indexes with their key arity, in snapshot order."""
+        return (
+            (1, self._by_s), (1, self._by_p), (1, self._by_o),
+            (2, self._by_sp), (2, self._by_po), (2, self._by_so),
+        )
+
+    # -- snapshots -----------------------------------------------------------
+
+    def save(self, path, metadata=None):
+        """Write a binary snapshot of this store (see :mod:`.snapshot`)."""
+        from .snapshot import save_snapshot
+
+        return save_snapshot(self, path, metadata=metadata)
+
+    @classmethod
+    def load(cls, path):
+        """Rebuild a store from a snapshot written by :meth:`save`."""
+        from .snapshot import load_snapshot
+
+        return load_snapshot(path, expected_kind="indexed")
 
     # -- mutation -----------------------------------------------------------
 
@@ -129,6 +251,15 @@ class IndexedStore(TripleStore):
                 return None
             encoded.append(term_id)
         return tuple(encoded)
+
+    def id_triples(self):
+        """Iterate over every stored triple as a raw id 3-tuple (no decode).
+
+        The bulk counterpart of :meth:`triples_ids` used by snapshot and
+        copy/bulk-load paths: ``IndexedStore.from_id_triples(other.dictionary,
+        other.id_triples())`` clones a store without touching terms.
+        """
+        return iter(self._spo)
 
     def triples_ids(self, subject=None, predicate=None, object=None):
         """Yield raw id 3-tuples matching an already-encoded pattern.

@@ -33,6 +33,25 @@ class MemoryStore(TripleStore):
         self._triples[triple] = None
         return True
 
+    def save(self, path, metadata=None):
+        """Write a snapshot of this store (an N-Triples-backed payload).
+
+        The in-memory engines of the paper re-parse their document on every
+        load, so the "snapshot" of a scan store is simply the serialized
+        document inside the common snapshot container — symmetric API with
+        :meth:`IndexedStore.save`, same cost model as the modelled engines.
+        """
+        from .snapshot import save_snapshot
+
+        return save_snapshot(self, path, metadata=metadata)
+
+    @classmethod
+    def load(cls, path):
+        """Rebuild a store from a snapshot written by :meth:`save`."""
+        from .snapshot import load_snapshot
+
+        return load_snapshot(path, expected_kind="memory")
+
     def remove(self, triple):
         """Remove a triple if present; returns True when removed.  O(1)."""
         if triple not in self._triples:

@@ -141,6 +141,20 @@ class StoreStatistics:
             objects.update(per_predicate)
         return objects
 
+    def __eq__(self, other):
+        """Exact structural equality (snapshot round-trip tests rely on it)."""
+        if not isinstance(other, StoreStatistics):
+            return NotImplemented
+        return (
+            self.triple_count == other.triple_count
+            and self.predicate_counts == other.predicate_counts
+            and self._predicate_subjects == other._predicate_subjects
+            and self._predicate_objects == other._predicate_objects
+            and self.class_counts == other.class_counts
+        )
+
+    __hash__ = None  # mutable container; equality is structural
+
     def __repr__(self):
         return (
             f"StoreStatistics(triples={self.triple_count}, "

@@ -78,8 +78,17 @@ class TestDeterminismAndLimits:
         path = tmp_path / "doc.nt"
         generator = DblpGenerator(GeneratorConfig(triple_limit=1200, seed=5))
         count = generator.write(path)
-        parsed = parse_file(path)
-        assert len(parsed) == count
+        assert sum(1 for _triple in parse_file(path)) == count
+
+    def test_generate_into_matches_graph_output(self):
+        from repro.store import IndexedStore
+
+        config = GeneratorConfig(triple_limit=1200, seed=5)
+        graph = DblpGenerator(config).graph()
+        store = IndexedStore()
+        added = DblpGenerator(config).generate_into(store)
+        assert added == len(graph)
+        assert set(store.triples()) == set(graph)
 
 
 class TestStructuralInvariants:

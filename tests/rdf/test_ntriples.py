@@ -50,8 +50,35 @@ class TestSerialization:
         path = tmp_path / "data.nt"
         count = write_file(sample_triples(), path)
         assert count == len(sample_triples())
-        graph = parse_file(path)
+        graph = Graph(parse_file(path))
         assert graph == Graph(sample_triples())
+
+    def test_parse_file_is_a_streaming_iterator(self, tmp_path):
+        # parse_file yields lazily: a malformed line deep in the file must
+        # not prevent consuming the valid triples before it.
+        path = tmp_path / "data.nt"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(serialize_triple(sample_triples()[0]) + "\n")
+            handle.write("this is not a triple\n")
+        stream = parse_file(path)
+        assert iter(stream) is stream
+        assert next(stream) == sample_triples()[0]
+        with pytest.raises(ParseError):
+            next(stream)
+
+    def test_load_into_streams_into_a_store(self, tmp_path):
+        from repro.rdf import load_into
+        from repro.store import IndexedStore, MemoryStore
+
+        path = tmp_path / "data.nt"
+        write_file(sample_triples(), path)
+        for store in (IndexedStore(), MemoryStore()):
+            assert load_into(store, path) == len(sample_triples())
+            assert set(store.triples()) == set(sample_triples())
+        # file-like sources work too
+        store = MemoryStore()
+        with open(path, "r", encoding="utf-8") as handle:
+            assert load_into(store, handle) == len(sample_triples())
 
 
 class TestParsing:

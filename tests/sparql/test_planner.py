@@ -313,6 +313,42 @@ class TestSeededEvaluation:
         }
         assert results == {"none": 0, "greedy": 0, "cost": 0}
 
+    def test_bind_planned_join_is_seeded_on_the_term_path_too(self):
+        # Regression: a bind-join plan reorders the right group's patterns
+        # and inline-filter placement assuming the left rows seed its
+        # evaluation.  The term-space evaluator used to execute such a right
+        # side standalone, so the filter ran while ?a was still unbound
+        # (error -> false) and the join came back empty on scan stores.
+        from repro.rdf import Literal, Triple, URIRef
+
+        rdf_type = URIRef("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        creator = URIRef("http://purl.org/dc/elements/1.1/creator")
+        person, doc = URIRef("http://p/0"), URIRef("http://d/0")
+        triples = [
+            Triple(person, rdf_type, URIRef("http://xmlns.com/foaf/0.1/Person")),
+            Triple(doc, creator, person),
+            Triple(doc, rdf_type, URIRef("http://localhost/vocabulary/bench/Article")),
+            Triple(doc, URIRef("http://purl.org/dc/elements/1.1/title"),
+                   Literal("Title 0")),
+        ]
+        query = (
+            "SELECT ?a ?b ?c WHERE { ?b rdf:type ?a "
+            "{ ?c dc:creator ?b . <http://p/0> rdf:type ?a FILTER (?a = ?a) } }"
+        )
+        reference = None
+        for store_type in ("memory", "indexed"):
+            for use_id_space in (None, False):
+                engine = SparqlEngine.from_graph(triples, EngineConfig(
+                    name=f"{store_type}-cost", store_type=store_type,
+                    planner="cost", use_id_space=use_id_space,
+                ))
+                result = engine.query(query).as_multiset()
+                if reference is None:
+                    reference = result
+                    assert len(result) == 1
+                else:
+                    assert result == reference
+
     def test_empty_left_side_short_circuits(self, sample_graph):
         engine = SparqlEngine.from_graph(sample_graph, NATIVE_COST)
         result = engine.query(

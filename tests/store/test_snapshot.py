@@ -1,0 +1,219 @@
+"""Unit tests for the binary store snapshot format."""
+
+import struct
+
+import pytest
+
+from repro.queries import get_query
+from repro.rdf import BNode, Graph, Literal, Triple, URIRef
+from repro.sparql import NATIVE_COST, SparqlEngine
+from repro.store import (
+    SNAPSHOT_FORMAT_VERSION,
+    IndexedStore,
+    MemoryStore,
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotVersionError,
+    load_snapshot,
+    read_snapshot_metadata,
+    save_snapshot,
+)
+
+EX = "http://example.org/"
+XSD_INT = "http://www.w3.org/2001/XMLSchema#integer"
+
+
+def sample_triples():
+    return [
+        Triple(URIRef(EX + "a"), URIRef(EX + "p"), URIRef(EX + "b")),
+        Triple(BNode("node1"), URIRef(EX + "p"), Literal("plain")),
+        Triple(URIRef(EX + "a"), URIRef(EX + "q"), Literal("5", datatype=XSD_INT)),
+        Triple(URIRef(EX + "a"), URIRef(EX + "q"), Literal("hi", language="en")),
+        Triple(URIRef(EX + "b"), URIRef(EX + "p"), Literal("escaped \"quotes\"\n")),
+    ]
+
+
+class TestIndexedRoundTrip:
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        store = IndexedStore(sample_triples())
+        path = tmp_path / "store.sp2b"
+        save_snapshot(store, path, metadata={"note": "unit"})
+        return store, path
+
+    def test_triples_and_length_survive(self, saved):
+        store, path = saved
+        loaded = load_snapshot(path)
+        assert isinstance(loaded, IndexedStore)
+        assert len(loaded) == len(store)
+        assert set(loaded.triples()) == set(store.triples())
+
+    def test_dictionary_ids_are_stable(self, saved):
+        store, path = saved
+        loaded = load_snapshot(path)
+        assert len(loaded.dictionary) == len(store.dictionary)
+        for triple in store.triples():
+            for term in triple:
+                assert loaded.dictionary.lookup(term) == store.dictionary.lookup(term)
+
+    def test_statistics_are_equal(self, saved):
+        store, path = saved
+        loaded = load_snapshot(path)
+        assert loaded.statistics == store.statistics
+        assert loaded.statistics.triple_count == len(store)
+
+    def test_indexes_answer_every_pattern_shape(self, saved):
+        store, path = saved
+        loaded = load_snapshot(path)
+        a, p = URIRef(EX + "a"), URIRef(EX + "p")
+        for pattern in ((a, None, None), (None, p, None), (None, None, URIRef(EX + "b")),
+                        (a, p, None), (None, p, URIRef(EX + "b")),
+                        (a, None, URIRef(EX + "b")), (None, None, None)):
+            assert set(loaded.triples(*pattern)) == set(store.triples(*pattern))
+            assert loaded.count(*pattern) == store.count(*pattern)
+
+    def test_loaded_store_stays_mutable(self, saved):
+        store, path = saved
+        loaded = load_snapshot(path)
+        victim = sample_triples()[0]
+        assert loaded.remove(victim)
+        assert not loaded.contains(victim)
+        assert len(loaded) == len(store) - 1
+        new = Triple(URIRef(EX + "new"), URIRef(EX + "p"), Literal("x"))
+        assert loaded.add(new)
+        assert loaded.contains(new)
+
+    def test_metadata_round_trip(self, saved):
+        _store, path = saved
+        metadata = read_snapshot_metadata(path)
+        assert metadata["note"] == "unit"
+        assert metadata["store"] == "indexed"
+        assert metadata["triples"] == len(sample_triples())
+
+    def test_empty_store_round_trips(self, tmp_path):
+        path = tmp_path / "empty.sp2b"
+        save_snapshot(IndexedStore(), path)
+        loaded = load_snapshot(path)
+        assert len(loaded) == 0
+        assert loaded.statistics.triple_count == 0
+
+    def test_save_and_load_methods_mirror_module_functions(self, tmp_path):
+        store = IndexedStore(sample_triples())
+        path = tmp_path / "method.sp2b"
+        store.save(path)
+        loaded = IndexedStore.load(path)
+        assert set(loaded.triples()) == set(store.triples())
+
+
+class TestMemoryRoundTrip:
+    def test_round_trip(self, tmp_path):
+        store = MemoryStore(sample_triples())
+        path = tmp_path / "memory.sp2b"
+        store.save(path)
+        loaded = MemoryStore.load(path)
+        assert isinstance(loaded, MemoryStore)
+        assert set(loaded.triples()) == set(store.triples())
+
+    def test_kind_dispatch_and_expectation(self, tmp_path):
+        memory_path = tmp_path / "memory.sp2b"
+        MemoryStore(sample_triples()).save(memory_path)
+        assert isinstance(load_snapshot(memory_path), MemoryStore)
+        with pytest.raises(SnapshotFormatError):
+            IndexedStore.load(memory_path)
+        indexed_path = tmp_path / "indexed.sp2b"
+        IndexedStore(sample_triples()).save(indexed_path)
+        with pytest.raises(SnapshotFormatError):
+            MemoryStore.load(indexed_path)
+
+
+class TestRejection:
+    @pytest.fixture()
+    def snapshot_path(self, tmp_path):
+        path = tmp_path / "store.sp2b"
+        save_snapshot(IndexedStore(sample_triples()), path)
+        return path
+
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "junk.sp2b"
+        path.write_bytes(b"certainly not a snapshot file")
+        with pytest.raises(SnapshotFormatError):
+            load_snapshot(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.sp2b"
+        path.write_bytes(b"")
+        with pytest.raises(SnapshotFormatError):
+            load_snapshot(path)
+
+    def test_wrong_version_is_rejected(self, snapshot_path):
+        data = bytearray(snapshot_path.read_bytes())
+        # Version lives at bytes 8..10 of the header (little-endian u16).
+        data[8:10] = struct.pack("<H", SNAPSHOT_FORMAT_VERSION + 1)
+        snapshot_path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotVersionError):
+            load_snapshot(snapshot_path)
+        with pytest.raises(SnapshotVersionError):
+            read_snapshot_metadata(snapshot_path)
+
+    def test_truncated_file_is_rejected(self, snapshot_path):
+        data = snapshot_path.read_bytes()
+        snapshot_path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotCorruptError):
+            load_snapshot(snapshot_path)
+
+    def test_corrupted_payload_fails_integrity_check(self, snapshot_path):
+        data = bytearray(snapshot_path.read_bytes())
+        data[-3] ^= 0xFF  # flip bits deep inside the payload
+        snapshot_path.write_bytes(bytes(data))
+        with pytest.raises(SnapshotCorruptError):
+            load_snapshot(snapshot_path)
+
+    def test_all_rejections_are_snapshot_errors(self, tmp_path):
+        # Cache resolution catches SnapshotError to rebuild — the subclasses
+        # must stay inside that umbrella.
+        assert issubclass(SnapshotFormatError, SnapshotError)
+        assert issubclass(SnapshotVersionError, SnapshotError)
+        assert issubclass(SnapshotCorruptError, SnapshotError)
+
+
+class TestBulkConstruction:
+    def test_from_id_triples_with_recomputed_statistics(self):
+        source = IndexedStore(sample_triples())
+        clone = IndexedStore.from_id_triples(
+            source.dictionary, source.id_triples()
+        )
+        assert set(clone.triples()) == set(source.triples())
+        assert clone.statistics == source.statistics
+
+    def test_bulk_add_ids_skips_duplicates(self):
+        source = IndexedStore(sample_triples())
+        store = IndexedStore.from_id_triples(source.dictionary, source.id_triples())
+        assert store.bulk_add_ids(source.id_triples()) == 0
+        assert len(store) == len(source)
+
+
+class TestQueriesOnLoadedStores:
+    def test_catalog_queries_identical_on_loaded_store(
+        self, tmp_path, generated_graph_small
+    ):
+        fresh = IndexedStore(generated_graph_small)
+        path = tmp_path / "generated.sp2b"
+        save_snapshot(fresh, path)
+        loaded = load_snapshot(path)
+        fresh_engine = SparqlEngine(NATIVE_COST, store=fresh)
+        loaded_engine = SparqlEngine(NATIVE_COST, store=loaded)
+        for query_id in ("Q1", "Q2", "Q3a", "Q4", "Q5a", "Q6", "Q8", "Q11", "Q12c"):
+            text = get_query(query_id).text
+            fresh_result = fresh_engine.query(text)
+            loaded_result = loaded_engine.query(text)
+            if fresh_result.form == "SELECT":
+                assert fresh_result.as_multiset() == loaded_result.as_multiset()
+            else:
+                assert bool(fresh_result) == bool(loaded_result)
+
+    def test_loaded_memory_store_queries_like_graph(self, tmp_path, sample_graph):
+        path = tmp_path / "sample.sp2b"
+        MemoryStore(sample_graph).save(path)
+        loaded = MemoryStore.load(path)
+        assert set(loaded.triples()) == set(Graph(sample_graph))

@@ -1,0 +1,158 @@
+"""Tests for the benchmark comparison tool, including the step-summary mode."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_benchmarks",
+    Path(__file__).resolve().parents[2] / "tools" / "compare_benchmarks.py",
+)
+compare_benchmarks = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_benchmarks)
+
+
+def write_baseline(path, means):
+    path.write_text(json.dumps({"estimator": "min", "means": means}))
+
+
+def write_results(path, means):
+    path.write_text(json.dumps({
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}} for name, mean in means.items()
+        ]
+    }))
+
+
+@pytest.fixture()
+def files(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    results = tmp_path / "results.json"
+    return baseline, results
+
+
+class TestGate:
+    def test_no_regression_passes(self, files, capsys):
+        baseline, results = files
+        means = {"test_catalog_query[Q1]": 0.010, "test_catalog_query[Q2]": 0.020}
+        write_baseline(baseline, means)
+        write_results(results, means)
+        assert compare_benchmarks.main([str(baseline), str(results)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_fails_gate(self, files, capsys):
+        baseline, results = files
+        write_baseline(baseline, {"test_catalog_query[Q1]": 0.010,
+                                  "test_catalog_query[Q2]": 0.020,
+                                  "test_catalog_query[Q3]": 0.030})
+        write_results(results, {"test_catalog_query[Q1]": 0.080,
+                                "test_catalog_query[Q2]": 0.020,
+                                "test_catalog_query[Q3]": 0.030})
+        code = compare_benchmarks.main([
+            str(baseline), str(results), "--threshold", "1.25",
+            "--gate-prefix", "test_catalog_query",
+        ])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_non_gated_benchmarks_never_fail(self, files, capsys):
+        baseline, results = files
+        write_baseline(baseline, {"test_catalog_query[Q1]": 0.010,
+                                  "test_catalog_query[Q2]": 0.010,
+                                  "test_other_bench": 0.010})
+        write_results(results, {"test_catalog_query[Q1]": 0.010,
+                                "test_catalog_query[Q2]": 0.010,
+                                "test_other_bench": 0.500})
+        code = compare_benchmarks.main([
+            str(baseline), str(results), "--gate-prefix", "test_catalog_query",
+        ])
+        assert code == 0
+        assert "outside gate" in capsys.readouterr().out
+
+
+class TestEstimatorGuard:
+    def test_mean_recorded_baseline_is_rejected(self, files, capsys):
+        baseline, results = files
+        # Old-schema baseline (no estimator field -> recorded means).
+        baseline.write_text(json.dumps({"means": {"a": 0.010, "b": 0.020}}))
+        write_results(results, {"a": 0.010, "b": 0.020})
+        with pytest.raises(SystemExit) as excinfo:
+            compare_benchmarks.main([str(baseline), str(results)])
+        assert "estimator" in str(excinfo.value)
+
+    def test_update_records_min_estimator(self, files, tmp_path):
+        baseline, results = files
+        results.write_text(json.dumps({"benchmarks": [
+            {"name": "a", "stats": {"mean": 0.020, "min": 0.010}},
+        ]}))
+        compare_benchmarks.main([str(baseline), str(results), "--update"])
+        data = json.loads(baseline.read_text())
+        assert data["estimator"] == "min"
+        assert data["means"]["a"] == 0.010  # the min, not the mean
+
+
+class TestStepSummary:
+    def test_markdown_table_written_to_explicit_path(self, files, tmp_path, capsys):
+        baseline, results = files
+        write_baseline(baseline, {"test_catalog_query[Q1]": 0.010,
+                                  "test_catalog_query[Q2]": 0.020})
+        write_results(results, {"test_catalog_query[Q1]": 0.012,
+                                "test_catalog_query[Q2]": 0.020})
+        summary = tmp_path / "summary.md"
+        assert compare_benchmarks.main([
+            str(baseline), str(results), "--step-summary", str(summary),
+        ]) == 0
+        text = summary.read_text()
+        assert "### Benchmark regression gate" in text
+        assert "| Benchmark | Baseline | Current | Ratio | Verdict |" in text
+        assert "`test_catalog_query[Q1]`" in text
+        assert "no regressions" in text
+        capsys.readouterr()
+
+    def test_summary_written_even_when_gate_fails(self, files, tmp_path, capsys):
+        baseline, results = files
+        write_baseline(baseline, {"test_catalog_query[Q1]": 0.010,
+                                  "test_catalog_query[Q2]": 0.020,
+                                  "test_catalog_query[Q3]": 0.030})
+        write_results(results, {"test_catalog_query[Q1]": 0.100,
+                                "test_catalog_query[Q2]": 0.020,
+                                "test_catalog_query[Q3]": 0.030})
+        summary = tmp_path / "summary.md"
+        code = compare_benchmarks.main([
+            str(baseline), str(results),
+            "--gate-prefix", "test_catalog_query",
+            "--step-summary", str(summary),
+        ])
+        assert code == 1
+        text = summary.read_text()
+        assert "regression(s)" in text
+        # Worst offender sorts to the top of the table.
+        first_row = [line for line in text.splitlines() if line.startswith("| `")][0]
+        assert "test_catalog_query[Q1]" in first_row
+        capsys.readouterr()
+
+    def test_env_variable_fallback(self, files, tmp_path, capsys, monkeypatch):
+        baseline, results = files
+        means = {"a": 0.010, "b": 0.020}
+        write_baseline(baseline, means)
+        write_results(results, means)
+        summary = tmp_path / "github-summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert compare_benchmarks.main([
+            str(baseline), str(results), "--step-summary",
+        ]) == 0
+        assert "### Benchmark regression gate" in summary.read_text()
+        capsys.readouterr()
+
+    def test_missing_env_is_tolerated(self, files, capsys, monkeypatch):
+        baseline, results = files
+        means = {"a": 0.010, "b": 0.020}
+        write_baseline(baseline, means)
+        write_results(results, means)
+        monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+        assert compare_benchmarks.main([
+            str(baseline), str(results), "--step-summary",
+        ]) == 0
+        assert "skipping markdown summary" in capsys.readouterr().err

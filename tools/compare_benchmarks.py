@@ -27,7 +27,15 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import sys
+
+
+#: The per-benchmark time estimator this tool records and compares.  A
+#: baseline recorded under a different estimator must be rejected, not
+#: silently compared: minima are systematically <= means, so mixing the two
+#: would bias every ratio and let real regressions through the gate.
+ESTIMATOR = "min"
 
 
 def load_baseline(path):
@@ -35,20 +43,34 @@ def load_baseline(path):
         data = json.load(handle)
     if "means" not in data:
         raise SystemExit(f"{path}: not a baseline file (missing 'means')")
+    estimator = data.get("estimator", "mean")
+    if estimator != ESTIMATOR:
+        raise SystemExit(
+            f"{path}: baseline recorded with the {estimator!r} estimator, "
+            f"this tool compares {ESTIMATOR!r} round times — refresh it with "
+            f"--update before gating"
+        )
     return data["means"]
 
 
 def load_results(path):
-    """Mean times by benchmark name from a pytest-benchmark JSON file."""
+    """Per-benchmark timings from a pytest-benchmark JSON file.
+
+    The *minimum* round time is used when available (falling back to the
+    mean): the min is the classic low-noise estimator of a benchmark's true
+    cost — a single scheduler hiccup inflates the mean of a 3-round run by
+    30%+ but leaves the min untouched, and the gate must fire on real
+    slow-downs, not on one preempted round.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
     means = {}
     for bench in data.get("benchmarks", ()):
         name = bench.get("name")
         stats = bench.get("stats") or {}
-        mean = stats.get("mean")
-        if name and isinstance(mean, (int, float)) and mean > 0:
-            means[name] = float(mean)
+        timing = stats.get("min", stats.get("mean"))
+        if name and isinstance(timing, (int, float)) and timing > 0:
+            means[name] = float(timing)
     if not means:
         raise SystemExit(f"{path}: no benchmark timings found")
     return means
@@ -64,8 +86,20 @@ def normalized(means, names, scale_names=None):
     return {name: means[name] / scale for name in names}
 
 
+#: Row verdicts, in the order they should alarm a reader.
+REGRESSION = "regression"
+OVER_OUTSIDE_GATE = "over threshold (outside gate)"
+OVER_NOISE_FLOOR = "over threshold (below noise floor)"
+IMPROVED = "improved"
+OK = "ok"
+
+
 def compare(baseline, current, threshold, min_time=0.0, gate_prefix=""):
-    """Return (regressions, report_lines) for the shared benchmark set.
+    """Compare two runs; returns ``(regressions, report_lines, rows)``.
+
+    ``rows`` is the structured per-benchmark comparison — ``(name,
+    baseline_seconds, current_seconds, normalized_ratio, gated, verdict)`` —
+    that both the text report and the step-summary markdown render from.
 
     Benchmarks faster than ``min_time`` in *both* runs are reported but can
     never fail the gate: their timings are dominated by scheduler and
@@ -75,12 +109,13 @@ def compare(baseline, current, threshold, min_time=0.0, gate_prefix=""):
     """
     shared = sorted(set(baseline) & set(current))
     lines = []
+    rows = []
     regressions = []
     only_baseline = sorted(set(baseline) - set(current))
     only_current = sorted(set(current) - set(baseline))
     if not shared:
         lines.append("no shared benchmarks between baseline and current run")
-        return regressions, lines
+        return regressions, lines, rows
     # Normalize over the gated subset when one is selected: a volatile
     # non-gated benchmark must not shift the geomean and manufacture (or
     # mask) regressions in the queries the gate actually protects.
@@ -90,35 +125,90 @@ def compare(baseline, current, threshold, min_time=0.0, gate_prefix=""):
     base_norm = normalized(baseline, shared, scale_names)
     curr_norm = normalized(current, shared, scale_names)
     width = max(len(name) for name in shared)
+    markers = {
+        REGRESSION: "  << REGRESSION",
+        OVER_OUTSIDE_GATE: "  (over threshold, informational — outside gate)",
+        OVER_NOISE_FLOOR: "  (over threshold but below noise floor)",
+        IMPROVED: "  (improved)",
+        OK: "",
+    }
     for name in shared:
         ratio = curr_norm[name] / max(base_norm[name], 1e-9)
         noise_floor = baseline[name] < min_time and current[name] < min_time
         gated = name.startswith(gate_prefix)
-        marker = ""
         if ratio > threshold and gated and not noise_floor:
-            marker = "  << REGRESSION"
+            verdict = REGRESSION
             regressions.append((name, ratio))
         elif ratio > threshold and not gated:
-            marker = "  (over threshold, informational — outside gate)"
-        elif ratio > threshold and noise_floor:
-            marker = "  (over threshold but below noise floor)"
+            verdict = OVER_OUTSIDE_GATE
+        elif ratio > threshold:
+            verdict = OVER_NOISE_FLOOR
         elif ratio < 1.0 / threshold:
-            marker = "  (improved)"
+            verdict = IMPROVED
+        else:
+            verdict = OK
+        rows.append((name, baseline[name], current[name], ratio, gated, verdict))
         lines.append(
             f"  {name:<{width}}  baseline={baseline[name] * 1e3:9.3f}ms  "
             f"current={current[name] * 1e3:9.3f}ms  "
-            f"normalized-ratio={ratio:5.2f}{marker}"
+            f"normalized-ratio={ratio:5.2f}{markers[verdict]}"
         )
     for name in only_baseline:
         lines.append(f"  {name}: in baseline only (skipped)")
     for name in only_current:
         lines.append(f"  {name}: new benchmark, no baseline yet (skipped)")
-    return regressions, lines
+    return regressions, lines, rows
+
+
+_VERDICT_BADGES = {
+    REGRESSION: "❌ regression",
+    OVER_OUTSIDE_GATE: "ℹ️ over threshold (outside gate)",
+    OVER_NOISE_FLOOR: "⚪ over threshold (noise floor)",
+    IMPROVED: "🔵 improved",
+    OK: "✅ ok",
+}
+
+
+def step_summary_markdown(rows, threshold, regression_count):
+    """The per-query regression table as GitHub-flavoured markdown.
+
+    Written to ``$GITHUB_STEP_SUMMARY`` by ``--step-summary`` so pull
+    requests show baseline-versus-current timings, the normalized ratio, and
+    the gate verdict without anyone downloading the results artifact.
+    """
+    lines = ["### Benchmark regression gate", ""]
+    if not rows:
+        lines.append("No shared benchmarks between baseline and current run.")
+        lines.append("")
+        return "\n".join(lines)
+    verdict = (
+        f"**{regression_count} regression(s)** ❌" if regression_count
+        else "no regressions ✅"
+    )
+    lines.append(
+        f"{verdict} — threshold ×{threshold:.2f} on the normalized ratio "
+        f"(geometric-mean scaled, machine speed cancels), "
+        f"{len(rows)} shared benchmark(s)."
+    )
+    lines.append("")
+    lines.append("| Benchmark | Baseline | Current | Ratio | Verdict |")
+    lines.append("|:--|--:|--:|--:|:--|")
+    # Worst offenders first so a failing gate explains itself above the fold.
+    for name, base, curr, ratio, _gated, verdict in sorted(
+        rows, key=lambda row: (row[5] != REGRESSION, -row[3])
+    ):
+        lines.append(
+            f"| `{name}` | {base * 1e3:.3f} ms | {curr * 1e3:.3f} ms "
+            f"| {ratio:.2f} | {_VERDICT_BADGES[verdict]} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
 
 
 def write_baseline(path, means, source):
     data = {
-        "schema": "sp2bench-baseline-v1",
+        "schema": "sp2bench-baseline-v2",
+        "estimator": ESTIMATOR,
         "normalization": "geometric-mean of shared benchmarks",
         "source": source,
         "means": {name: means[name] for name in sorted(means)},
@@ -142,6 +232,12 @@ def main(argv=None):
                              "fail the gate (others compare informationally)")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline from the current results")
+    parser.add_argument("--step-summary", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="append the comparison as a markdown table to "
+                             "PATH (default: $GITHUB_STEP_SUMMARY), so the "
+                             "table shows up on the PR without downloading "
+                             "artifacts")
     args = parser.parse_args(argv)
 
     current = load_results(args.results)
@@ -151,13 +247,28 @@ def main(argv=None):
         return 0
 
     baseline = load_baseline(args.baseline)
-    regressions, lines = compare(baseline, current, args.threshold,
-                                 min_time=args.min_time,
-                                 gate_prefix=args.gate_prefix)
+    regressions, lines, rows = compare(baseline, current, args.threshold,
+                                       min_time=args.min_time,
+                                       gate_prefix=args.gate_prefix)
     print(f"benchmark regression gate (threshold {args.threshold:.2f}x, "
           "normalized by run geomean)")
     for line in lines:
         print(line)
+
+    if args.step_summary is not None:
+        summary_path = args.step_summary or os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary_path:
+            # Written before the gate verdict exits: a failing build is
+            # exactly when the table must be visible on the PR.
+            with open(summary_path, "a", encoding="utf-8") as handle:
+                handle.write(step_summary_markdown(
+                    rows, args.threshold, len(regressions)
+                ))
+                handle.write("\n")
+        else:
+            print("--step-summary: no path given and $GITHUB_STEP_SUMMARY "
+                  "unset; skipping markdown summary", file=sys.stderr)
+
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed:")
         for name, ratio in regressions:
