@@ -41,8 +41,10 @@ def debut_authors_by_year(engine):
 
 def most_cited_publications(engine):
     # Incoming citations are modelled through rdf:Bag membership; count the
-    # bag members pointing at each document and join with the title.
-    result = engine.query(
+    # bag members pointing at each document and join with the title.  The
+    # aggregation consumes a streaming cursor — no materialized result list
+    # ever exists, only the running counters.
+    cursor = engine.stream(
         """
         SELECT ?title ?doc WHERE {
           ?doc dc:title ?title .
@@ -51,8 +53,12 @@ def most_cited_publications(engine):
         }
         """
     )
-    counts = Counter(str(binding.get("doc")) for binding in result)
-    titles = {str(binding.get("doc")): str(binding.get("title")) for binding in result}
+    counts = Counter()
+    titles = {}
+    for binding in cursor:
+        doc = str(binding.get("doc"))
+        counts[doc] += 1
+        titles[doc] = str(binding.get("title"))
     print("\nMost cited publications (incoming-citation power law):")
     for doc, count in counts.most_common(5):
         print(f"  {count:3d} citations  {titles[doc][:60]}")

@@ -1,5 +1,12 @@
 """Quickstart: generate a DBLP-like document and run SP2Bench queries on it.
 
+Shows the serving-oriented engine API: ``engine.prepare()`` parses and plans
+a query once, ``.run()`` executes it many times (optionally with pre-bound
+parameters), and the returned cursor streams solutions lazily — ``LIMIT``
+reads stop evaluating early, and results serialize straight to the W3C
+SPARQL-results formats.  ``engine.query()`` remains the compatible eager
+shorthand when you just want the whole result.
+
 Run with::
 
     python examples/quickstart.py
@@ -18,7 +25,7 @@ def main():
     #    optimizer-enabled configuration).
     engine = SparqlEngine.from_graph(graph)
 
-    # 3. Run benchmark queries by their paper identifier.
+    # 3. The eager shorthand: parse, plan, evaluate, materialize in one call.
     q1 = engine.query(get_query("Q1").text)
     print(f"\nQ1 (year of 'Journal 1 (1940)'): {q1.rows()[0][0]}")
 
@@ -27,26 +34,42 @@ def main():
     for (predicate,) in q9.rows():
         print(f"  {predicate}")
 
-    q5b = engine.query(get_query("Q5b").text)
-    print(f"\nQ5b (authors of both an article and an inproceedings): {len(q5b)} persons")
-    for binding in list(q5b)[:5]:
-        print(f"  {binding.get('name')}")
-
-    # 4. Ad-hoc queries work the same way — any SELECT/ASK query over the
-    #    SP2Bench vocabulary.
-    busiest = engine.query(
-        """
+    # 4. The streaming path: a lazy, iterate-once cursor.  Rows are produced
+    #    on demand, so a bounded read never evaluates the full result.
+    with engine.stream("""
         SELECT DISTINCT ?name WHERE {
           ?doc dc:creator ?person .
           ?person foaf:name ?name
         } ORDER BY ?name LIMIT 5
-        """
-    )
-    print("\nFirst five author names (ad-hoc query):")
-    for (name,) in busiest.rows():
-        print(f"  {name}")
+        """) as cursor:
+        print("\nFirst five author names (streamed):")
+        for (name,) in cursor.rows():
+            print(f"  {name}")
 
-    # 5. ASK queries return a boolean result.
+    # 5. Prepared queries: parse+plan once, execute many times — the shape of
+    #    production traffic, where the same template runs with different
+    #    parameters.  Pre-bound variables seed the evaluation directly.
+    author_docs = engine.prepare(
+        "SELECT ?doc WHERE { ?doc dc:creator ?person . ?person foaf:name ?name }"
+    )
+    some_names = [row[0] for row in engine.query(
+        "SELECT DISTINCT ?name WHERE { ?p foaf:name ?name } LIMIT 3"
+    ).rows()]
+    print("\nDocuments per author (one prepared template, many runs):")
+    for name in some_names:
+        count = sum(1 for _ in author_docs.run(bindings={"name": name}))
+        print(f"  {name}: {count} documents")
+    print(f"  (template prepared once, executed {author_docs.run_count} times)")
+
+    # 6. Cursors serialize to the W3C SPARQL-results formats without
+    #    materializing: json, csv, or tsv.
+    csv_text = engine.stream(
+        "SELECT ?name WHERE { ?p foaf:name ?name } ORDER BY ?name LIMIT 3"
+    ).serialize("csv")
+    print("\nThe same rows as SPARQL-results CSV:")
+    print("  " + csv_text.replace("\r\n", "\n  ").rstrip())
+
+    # 7. ASK queries share the cursor protocol and return a boolean.
     print(f"\nQ12c (is John Q. Public in the data?): {engine.ask(get_query('Q12c').text)}")
 
 

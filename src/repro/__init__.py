@@ -13,7 +13,11 @@ Typical usage::
 
     graph = generate_graph(triple_limit=10_000)
     engine = SparqlEngine.from_graph(graph)
-    result = engine.query(get_query("Q1").text)
+    result = engine.query(get_query("Q1").text)      # eager shorthand
+
+    prepared = engine.prepare(get_query("Q2").text)  # parse+plan once
+    for binding in prepared.run(limit=10):           # lazy cursor, many runs
+        ...
 """
 
 from .analysis import DocumentSetStatistics, analyze
@@ -27,7 +31,12 @@ from .sparql import (
     IN_MEMORY_OPTIMIZED,
     NATIVE_BASELINE,
     NATIVE_OPTIMIZED,
+    AskCursor,
+    Deadline,
     EngineConfig,
+    PreparedQuery,
+    QueryTimeout,
+    SelectCursor,
     SparqlEngine,
     parse_query,
 )
@@ -55,6 +64,11 @@ __all__ = [
     # SPARQL engine
     "SparqlEngine",
     "EngineConfig",
+    "PreparedQuery",
+    "SelectCursor",
+    "AskCursor",
+    "Deadline",
+    "QueryTimeout",
     "parse_query",
     "ENGINE_PRESETS",
     "IN_MEMORY_BASELINE",

@@ -6,7 +6,10 @@ Orchestrates the complete methodology:
 2. load each document into every engine configuration (recording loading
    times — the LOADING TIME metric),
 3. run every benchmark query against every engine and document size under a
-   timeout (PER-QUERY PERFORMANCE and SUCCESS RATE metrics),
+   timeout (PER-QUERY PERFORMANCE and SUCCESS RATE metrics) — one
+   :class:`~repro.bench.runner.QueryRunner` serves the whole experiment, so
+   each query text is prepared once per engine and repeated runs execute the
+   prepared plan through streaming cursors under true mid-stream deadlines,
 4. aggregate global means per engine and size (GLOBAL PERFORMANCE and
    MEMORY CONSUMPTION metrics).
 

@@ -2,11 +2,16 @@
 
 The paper's methodology runs every query with a per-query timeout (30 minutes
 on the original testbed) and an overall memory limit, classifying each
-execution as success / timeout / memory exhaustion / error.  Pure-Python
-engines cannot be preempted mid-evaluation portably, so the runner enforces
-the timeout *cooperatively*: elapsed time is checked after execution, and
-runs exceeding the budget are classified as timeouts (their measured time is
-still recorded).  Memory high watermarks come from :mod:`tracemalloc`.
+execution as success / timeout / memory exhaustion / error.  The runner
+enforces the timeout as a true *mid-stream* deadline: each query is prepared
+once per engine (parse+plan amortized across the harness's repeated runs, as
+in the paper's repeated-execution methodology) and consumed through a
+streaming cursor whose :class:`~repro.sparql.cursor.Deadline` is checked
+inside the evaluation loops — an over-budget query raises
+:class:`~repro.sparql.errors.QueryTimeout` while it is still evaluating,
+instead of being classified only after running to completion.  A cooperative
+post-hoc check remains as a backstop for code paths between deadline checks.
+Memory high watermarks come from :mod:`tracemalloc`.
 """
 
 from __future__ import annotations
@@ -14,7 +19,8 @@ from __future__ import annotations
 import time
 import tracemalloc
 
-from ..sparql.results import SelectResult
+from ..sparql.cursor import Deadline
+from ..sparql.errors import QueryTimeout
 from .metrics import ERROR, MEMORY, SUCCESS, TIMEOUT, QueryMeasurement
 
 
@@ -38,9 +44,9 @@ class QueryRunner:
         """Execute one :class:`BenchmarkQuery` and return a QueryMeasurement.
 
         ``budget`` is the remaining overall harness budget in seconds; when
-        given, the cooperative timeout classification uses the tighter of
-        the per-query timeout and that remaining budget, so a suite whose
-        budget is nearly spent classifies slow stragglers as timeouts.
+        given, the effective deadline is the tighter of the per-query timeout
+        and that remaining budget, so a suite whose budget is nearly spent
+        interrupts slow stragglers mid-evaluation.
         """
         engine_name = engine_name or engine.config.name
         measurement = QueryMeasurement(
@@ -55,14 +61,27 @@ class QueryRunner:
         if self.trace_memory:
             tracemalloc.reset_peak()
 
+        effective_timeout = self._effective_timeout(budget)
         start_cpu = time.process_time()
         start_wall = time.perf_counter()
         try:
-            result = engine.query(query.text)
-            if isinstance(result, SelectResult):
-                measurement.result_size = len(result)
-            else:
+            # The engine-owned statement cache: parse+plan runs once per
+            # (engine, query text), repeated runs execute the prepared plan.
+            prepared = engine.prepare_cached(query.text)
+            deadline = (
+                None if effective_timeout is None else Deadline(effective_timeout)
+            )
+            cursor = prepared.run(deadline=deadline)
+            if cursor.form == "ASK":
                 measurement.result_size = 1
+            else:
+                size = 0
+                for _binding in cursor:
+                    size += 1
+                measurement.result_size = size
+        except QueryTimeout as error:
+            measurement.status = TIMEOUT
+            measurement.error = str(error)
         except MemoryError as error:
             measurement.status = MEMORY
             measurement.error = str(error) or "memory exhausted"
@@ -78,8 +97,8 @@ class QueryRunner:
             if tracing_started_here:
                 tracemalloc.stop()
 
-        effective_timeout = self._effective_timeout(budget)
         if measurement.status == SUCCESS:
+            # Backstop for evaluations that finished between deadline checks.
             if effective_timeout is not None and measurement.elapsed > effective_timeout:
                 measurement.status = TIMEOUT
             elif (self.memory_limit_bytes is not None

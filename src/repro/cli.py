@@ -7,7 +7,11 @@ Console scripts are installed via ``pyproject.toml``:
     ``repro {generate|build|query|bench|cache} ...``.
     ``repro query --explain`` prints the physical query plan with estimated
     and actual per-step cardinalities; ``repro query`` also accepts ``.sp2b``
-    snapshot paths, which skip parsing and store building entirely.
+    snapshot paths, which skip parsing and store building entirely.  Queries
+    run through the prepared/streaming engine API: ``--repeat N`` amortizes
+    parse+plan across executions, ``--limit N`` stops evaluation after N
+    rows, and ``--format {table,json,csv,tsv}`` selects the rendering
+    (json/csv/tsv are the W3C SPARQL-results serializations).
     ``repro build`` fills the dataset cache; ``repro cache {list,clear,key}``
     administers it (``key`` prints the composite key CI uses for
     ``actions/cache``).
@@ -41,6 +45,7 @@ from .sparql.engine import (
     NATIVE_OPTIMIZED,
     SparqlEngine,
 )
+from .sparql.serializers import FORMATS as RESULT_FORMATS
 from .store import IndexedStore, load_snapshot
 
 #: Engine configurations selectable from the command line: the paper's four
@@ -195,8 +200,20 @@ def cache_main(argv=None):
     return 0
 
 
+#: Rows the table format prints when no ``--limit`` bounds the query.
+TABLE_PREVIEW_ROWS = 20
+
+
 def query_main(argv=None):
-    """Entry point of ``sp2bench-query``."""
+    """Entry point of ``sp2bench-query``.
+
+    Queries execute through the prepared/streaming path: the query is
+    prepared once, ``--repeat`` re-runs the prepared plan (reporting per-run
+    and amortized times), ``--limit`` is pushed into the cursor so bounded
+    queries stop evaluating early, and ``--format`` selects the table
+    rendering or a W3C SPARQL-results serialization (json/csv/tsv) written
+    to stdout (timings then go to stderr, keeping stdout a valid document).
+    """
     parser = argparse.ArgumentParser(description="Run SP2Bench queries on an RDF document.")
     parser.add_argument("document",
                         help="N-Triples file (or .sp2b store snapshot) to query")
@@ -205,8 +222,17 @@ def query_main(argv=None):
     parser.add_argument("--engine", default=NATIVE_OPTIMIZED.name,
                         choices=[config.name for config in CLI_ENGINE_CONFIGS],
                         help="engine preset to use")
-    parser.add_argument("--limit", type=int, default=20,
-                        help="maximum number of result rows to print")
+    parser.add_argument("--format", choices=("table",) + RESULT_FORMATS,
+                        default="table",
+                        help="output format: human-readable table or a W3C "
+                             "SPARQL-results serialization (default: table)")
+    parser.add_argument("--limit", type=int, default=None,
+                        help="LIMIT pushed into evaluation: the query stops "
+                             "producing after N rows (default: unbounded; the "
+                             f"table format then previews {TABLE_PREVIEW_ROWS} rows)")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="execute the prepared query N times and report "
+                             "per-run and amortized times (default: 1)")
     parser.add_argument("--explain", action="store_true",
                         help="print the physical query plan with estimated "
                              "and actual per-step cardinalities")
@@ -235,16 +261,67 @@ def query_main(argv=None):
         print(report.render())
         return 0
 
-    start = time.perf_counter()
-    result = engine.query(query_text)
-    elapsed = time.perf_counter() - start
-    if result.form == "ASK":
-        print(f"{label}: {'yes' if result else 'no'} ({elapsed:.3f}s)")
-    else:
-        print(f"{label}: {len(result)} results ({elapsed:.3f}s)")
-        for row in result.rows()[: args.limit]:
-            print("  " + "\t".join("-" if value is None else value.n3() for value in row))
+    repeat = max(args.repeat, 1)
+    prepare_start = time.perf_counter()
+    prepared = engine.prepare(query_text)
+    prepare_time = time.perf_counter() - prepare_start
+
+    run_times = []
+    for index in range(repeat):
+        final_run = index == repeat - 1
+        start = time.perf_counter()
+        cursor = prepared.run(limit=args.limit)
+        if not final_run:
+            # Warm repetition: drain for timing, print nothing.
+            for _binding in cursor:
+                pass
+            run_times.append(time.perf_counter() - start)
+            continue
+        if args.format == "table":
+            _print_table(label, cursor, args.limit, start)
+        else:
+            cursor.write(sys.stdout, args.format)
+            if args.format == "json":
+                sys.stdout.write("\n")
+        run_times.append(time.perf_counter() - start)
+
+    timing_out = sys.stdout if args.format == "table" else sys.stderr
+    if repeat > 1:
+        amortized = (prepare_time + sum(run_times)) / repeat
+        print(f"{label}: prepare {prepare_time * 1e3:.2f}ms; "
+              f"{repeat} runs: first {run_times[0] * 1e3:.2f}ms, "
+              f"min {min(run_times) * 1e3:.2f}ms, "
+              f"mean {sum(run_times) / repeat * 1e3:.2f}ms; "
+              f"amortized {amortized * 1e3:.2f}ms/run",
+              file=timing_out)
+    elif args.format != "table":
+        print(f"{label}: prepare {prepare_time * 1e3:.2f}ms, "
+              f"run {run_times[0] * 1e3:.2f}ms", file=timing_out)
     return 0
+
+
+def _print_table(label, cursor, limit, start):
+    """Render one cursor in the human-readable table format.
+
+    The table is a summary view, so the cursor is drained first (the
+    count-and-time header line comes before the rows); the streaming output
+    paths are the W3C serialization formats.
+    """
+    if cursor.form == "ASK":
+        elapsed = time.perf_counter() - start
+        print(f"{label}: {'yes' if cursor else 'no'} ({elapsed:.3f}s)")
+        return
+    preview = TABLE_PREVIEW_ROWS if limit is None else None
+    shown = []
+    count = 0
+    for row in cursor.rows():
+        count += 1
+        if preview is None or len(shown) < preview:
+            shown.append(row)
+    elapsed = time.perf_counter() - start
+    print(f"{label}: {count} results ({elapsed:.3f}s)")
+    for row in shown:
+        print("  " + "\t".join("-" if value is None else value.n3() for value in row))
 
 
 def bench_main(argv=None):

@@ -2,7 +2,8 @@
 
 from .algebra import translate_group, translate_query
 from .ast import AskQuery, SelectQuery
-from .bindings import EMPTY_BINDING, Binding
+from .bindings import EMPTY_BINDING, Binding, variable_name
+from .cursor import AskCursor, Deadline, ResultCursor, SelectCursor
 from .engine import (
     ENGINE_PRESETS,
     IN_MEMORY_BASELINE,
@@ -11,10 +12,18 @@ from .engine import (
     NATIVE_COST,
     NATIVE_OPTIMIZED,
     EngineConfig,
+    PreparedQuery,
     SparqlEngine,
     load_engines,
 )
-from .errors import EvaluationError, ExpressionError, SparqlError, SparqlSyntaxError
+from .errors import (
+    EvaluationError,
+    ExpressionError,
+    QueryTimeout,
+    SparqlError,
+    SparqlSyntaxError,
+)
+from .serializers import FORMATS as RESULT_FORMATS
 from .evaluator import NESTED_LOOP, SCAN_HASH, Evaluator
 from .idspace import IdSpaceEvaluation, SlotBinding, SlotLayout
 from .optimizer import optimize, reorder_patterns
@@ -48,12 +57,19 @@ __all__ = [
     "SCAN_HASH",
     "Binding",
     "EMPTY_BINDING",
+    "variable_name",
     "SelectQuery",
     "AskQuery",
     "SelectResult",
     "AskResult",
+    "SelectCursor",
+    "AskCursor",
+    "ResultCursor",
+    "Deadline",
+    "RESULT_FORMATS",
     "SparqlEngine",
     "EngineConfig",
+    "PreparedQuery",
     "load_engines",
     "ENGINE_PRESETS",
     "IN_MEMORY_BASELINE",
@@ -76,4 +92,5 @@ __all__ = [
     "SparqlSyntaxError",
     "EvaluationError",
     "ExpressionError",
+    "QueryTimeout",
 ]

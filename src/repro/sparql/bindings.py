@@ -111,7 +111,17 @@ class Binding:
 EMPTY_BINDING = Binding()
 
 
-def _name(variable):
+def variable_name(variable):
+    """Normalize a Variable (or "?name"/"name" string) to its bare name.
+
+    The single normalization rule shared by results, cursors, and the
+    serializers, so projection headers, row extraction, and solution lookup
+    can never disagree about what a variable is called.
+    """
     if isinstance(variable, Variable):
         return variable.name
     return str(variable).lstrip("?$")
+
+
+#: Historical private alias (pre-dates the public helper).
+_name = variable_name

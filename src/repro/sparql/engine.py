@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from itertools import islice
 from typing import Optional
 
 from ..rdf.graph import Graph
@@ -23,10 +24,11 @@ from ..store.indexed_store import IndexedStore
 from ..store.memory_store import MemoryStore
 from . import algebra, optimizer, planner
 from .ast import AskQuery, SelectQuery
+from .bindings import variable_name
+from .cursor import AskCursor, Deadline, SelectCursor
 from .evaluator import NESTED_LOOP, SCAN_HASH, Evaluator
 from .parser import parse_query
 from .planner import PLANNER_COST, PLANNER_GREEDY, PLANNER_NONE
-from .results import AskResult, SelectResult
 
 
 @dataclass(frozen=True)
@@ -122,11 +124,19 @@ ENGINE_PRESETS = (
 class SparqlEngine:
     """A queryable SPARQL engine over a loaded RDF document."""
 
+    #: Maximum number of entries in the prepare_cached() statement cache.
+    #: Far above any template workload (the catalog has 17 texts) while
+    #: bounding memory when ad-hoc texts with inlined constants leak in.
+    PREPARED_CACHE_SIZE = 256
+
     def __init__(self, config=None, store=None):
         self.config = config or NATIVE_OPTIMIZED
         # An explicit store (e.g. one rebuilt from a snapshot) bypasses
         # create_store(); the caller vouches that it matches the profile.
         self.store = store if store is not None else self.config.create_store()
+        # Statement cache for prepare_cached(): lives exactly as long as the
+        # engine, so cached plans never outlive (or pin) their store.
+        self._prepared_cache = {}
 
     # -- loading -----------------------------------------------------------
 
@@ -187,24 +197,60 @@ class SparqlEngine:
             tree = planner.plan_tree(tree, self.store)
         return query, tree
 
-    def query(self, query_text):
-        """Parse, plan, and evaluate a query; returns a Select/Ask result."""
+    def prepare(self, query_text):
+        """Parse, translate, optimize, and cost-plan a query exactly once.
+
+        Returns a :class:`PreparedQuery` whose :meth:`~PreparedQuery.run`
+        executes the pre-built plan any number of times — the serving-shaped
+        API for repeated query templates, where parse+plan cost is amortized
+        across executions.
+        """
         parsed, tree = self.plan(query_text)
-        evaluator = Evaluator(
-            self.store,
-            strategy=self.config.join_strategy,
-            reuse_patterns=self.config.reuse_pattern_results,
-            use_id_space=self.config.use_id_space,
-        )
-        outcome = evaluator.evaluate(tree)
-        if isinstance(parsed, AskQuery):
-            return AskResult(outcome)
-        if isinstance(parsed, SelectQuery):
-            variables = parsed.projected_variables()
-            if variables is None:
-                variables = sorted(tree.variables(), key=str)
-            return SelectResult(variables, outcome)
-        raise TypeError(f"unsupported query form: {parsed!r}")
+        if not isinstance(parsed, (AskQuery, SelectQuery)):
+            raise TypeError(f"unsupported query form: {parsed!r}")
+        return PreparedQuery(self, query_text, parsed, tree)
+
+    def prepare_cached(self, query_text):
+        """Like :meth:`prepare`, memoized per query text on this engine.
+
+        The statement cache the benchmark runner (and any serving loop
+        re-issuing templates) uses: the first call prepares, every later
+        call with the same text returns the same :class:`PreparedQuery`.
+        The cache is engine-owned (dropped with the engine, never keeps a
+        store alive) and LRU-bounded by :attr:`PREPARED_CACHE_SIZE`, so
+        ad-hoc texts with inlined constants cannot grow it without limit —
+        parameterized templates should pass constants via
+        ``run(bindings=...)`` instead.
+        """
+        cache = self._prepared_cache
+        prepared = cache.pop(query_text, None)
+        if prepared is None:
+            prepared = self.prepare(query_text)
+            while len(cache) >= self.PREPARED_CACHE_SIZE:
+                cache.pop(next(iter(cache)))
+        # Re-insertion moves the entry to the back of the eviction order.
+        cache[query_text] = prepared
+        return prepared
+
+    def stream(self, query_text, **run_options):
+        """One-shot streaming execution: ``prepare(text).run(**options)``.
+
+        Returns a lazy :class:`~repro.sparql.cursor.SelectCursor` /
+        :class:`~repro.sparql.cursor.AskCursor`; accepts the same options as
+        :meth:`PreparedQuery.run` (``bindings``, ``limit``, ``offset``,
+        ``deadline``).
+        """
+        return self.prepare(query_text).run(**run_options)
+
+    def query(self, query_text):
+        """Parse, plan, evaluate, and materialize a query (eager shorthand).
+
+        Equivalent to ``prepare(query_text).run().all()``: the whole result
+        is materialized into a Select/Ask result container.  Serving code
+        that wants laziness, LIMIT-bounded early exit, or mid-stream
+        deadlines uses :meth:`prepare` / :meth:`stream` instead.
+        """
+        return self.prepare(query_text).run().all()
 
     def explain(self, query_text):
         """Execute a query with plan instrumentation and report the plan.
@@ -265,10 +311,123 @@ class SparqlEngine:
         return f"SparqlEngine(config={self.config.name!r}, triples={len(self.store)})"
 
 
+class PreparedQuery:
+    """A query parsed, translated, optimized, and planned exactly once.
+
+    Built by :meth:`SparqlEngine.prepare`; holds the finished algebra tree
+    (with any attached physical plan) and executes it repeatedly through
+    :meth:`run`.  Evaluation state is created fresh per run — prepared
+    queries are reusable and independent across runs — while the one-time
+    front-end cost (tokenize, parse, translate, optimize, cost-plan) is paid
+    at prepare time only.
+    """
+
+    def __init__(self, engine, text, parsed, tree):
+        self.engine = engine
+        self.text = text
+        self._parsed = parsed
+        self._tree = tree
+        if isinstance(parsed, SelectQuery):
+            variables = parsed.projected_variables()
+            if variables is None:
+                variables = sorted(tree.variables(), key=str)
+            self._variables = list(variables)
+        else:
+            self._variables = []
+        #: Executions so far (amortization bookkeeping for harness reports).
+        self.run_count = 0
+
+    @property
+    def form(self):
+        """The query form: "SELECT" or "ASK"."""
+        return "ASK" if isinstance(self._parsed, AskQuery) else "SELECT"
+
+    @property
+    def variables(self):
+        """Projection variables of a SELECT query (empty for ASK)."""
+        return list(self._variables)
+
+    @property
+    def tree(self):
+        """The prepared algebra tree (exposed for tests and tooling)."""
+        return self._tree
+
+    def run(self, bindings=None, limit=None, offset=None, deadline=None,
+            timeout=None):
+        """Execute the prepared plan once; returns a streaming cursor.
+
+        ``bindings`` pre-binds query variables to RDF terms (a mapping of
+        variable/name -> term): every basic graph pattern starts from that
+        partial solution, so index probes use the bound terms directly and
+        an id-capable store short-circuits to the empty result when a bound
+        term does not occur in the data.  ``limit``/``offset`` bound the
+        result without re-planning — evaluation stops as soon as the window
+        is produced.  ``deadline`` (a :class:`~repro.sparql.cursor.Deadline`
+        or seconds, equivalently ``timeout=seconds``; when both are given
+        the tighter bound applies) is checked inside the evaluation loops
+        and raises :class:`~repro.sparql.errors.QueryTimeout` mid-stream.
+        """
+        deadline = Deadline.resolve(deadline)
+        if timeout is not None:
+            # Both given: the tighter bound wins (an unbounded deadline is
+            # always looser than a finite timeout).
+            timeout_deadline = Deadline(timeout)
+            if (deadline is None or deadline.expires_at is None
+                    or timeout_deadline.expires_at < deadline.expires_at):
+                deadline = timeout_deadline
+        seed = _normalize_bindings(bindings)
+        config = self.engine.config
+        evaluator = Evaluator(
+            self.engine.store,
+            strategy=config.join_strategy,
+            reuse_patterns=config.reuse_pattern_results,
+            use_id_space=config.use_id_space,
+            deadline=deadline,
+            seed=seed,
+        )
+        self.run_count += 1
+        if isinstance(self._parsed, AskQuery):
+            return AskCursor(evaluator.evaluate(self._tree), deadline=deadline)
+        rows = evaluator.evaluate(self._tree)
+        if offset:
+            rows = islice(rows, offset, None)
+        if limit is not None:
+            rows = islice(rows, limit)
+        return SelectCursor(self._variables, rows, deadline=deadline)
+
+    def __repr__(self):
+        return (f"PreparedQuery(form={self.form!r}, runs={self.run_count}, "
+                f"engine={self.engine.config.name!r})")
+
+
+def _normalize_bindings(bindings):
+    """Normalize a pre-binding mapping to {variable name: term} (or None)."""
+    if not bindings:
+        return None
+    items = bindings.items() if hasattr(bindings, "items") else bindings
+    return {variable_name(variable): term for variable, term in items}
+
+
 def load_engines(graph, configs=ENGINE_PRESETS):
-    """Build one engine per configuration, all loaded with the same graph."""
+    """Build one engine per configuration, all loaded with the same graph.
+
+    The source is loaded once per *store family* (memory / indexed) through
+    the streaming bulk-load path, and every configuration of the same family
+    shares the resulting store — queries never mutate stores, and re-running
+    the full per-preset load would re-iterate the entire graph for
+    configurations that only differ in evaluation strategy.
+    """
     if isinstance(graph, Graph):
         source = graph
     else:
         source = Graph(graph)
-    return [SparqlEngine.from_graph(source, config) for config in configs]
+    stores = {}
+    engines = []
+    for config in configs:
+        store = stores.get(config.store_type)
+        if store is None:
+            store = config.create_store()
+            store.bulk_load(iter(source))
+            stores[config.store_type] = store
+        engines.append(SparqlEngine(config, store=store))
+    return engines

@@ -19,6 +19,22 @@ class EvaluationError(SparqlError):
     """Raised when algebra evaluation hits an unrecoverable condition."""
 
 
+class QueryTimeout(SparqlError):
+    """Raised when query evaluation exceeds its deadline mid-stream.
+
+    Carries the configured budget (seconds) when known.  The benchmark
+    runner catches this to classify an execution as a true timeout *while*
+    it is running, instead of only after it has completed.
+    """
+
+    def __init__(self, message="query evaluation exceeded its deadline",
+                 budget=None):
+        if budget is not None:
+            message = f"{message} ({budget:.3f}s budget)"
+        super().__init__(message)
+        self.budget = budget
+
+
 class ExpressionError(SparqlError):
     """Raised by FILTER expression evaluation for SPARQL type errors.
 

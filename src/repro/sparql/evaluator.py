@@ -65,7 +65,8 @@ class Evaluator:
     """
 
     def __init__(self, store, strategy=NESTED_LOOP, reuse_patterns=False,
-                 use_id_space=None, observe_plans=False):
+                 use_id_space=None, observe_plans=False, deadline=None,
+                 seed=None):
         if strategy not in _STRATEGIES:
             raise EvaluationError(f"unknown join strategy {strategy!r}")
         supports_ids = getattr(store, "supports_id_access", False)
@@ -81,6 +82,21 @@ class Evaluator:
         self._use_id_space = bool(use_id_space)
         self._observe_plans = observe_plans
         self._pattern_cache = {}
+        #: Cooperative evaluation budget: the hot loops call ``_check()``
+        #: so an expired :class:`~repro.sparql.cursor.Deadline` raises
+        #: :class:`~repro.sparql.errors.QueryTimeout` mid-evaluation.
+        self._deadline = deadline
+        self._check = None if deadline is None else deadline.check
+        #: Prepared-query parameter pre-binding: every BGP starts from this
+        #: solution instead of the empty mapping, so probes use the bound
+        #: terms and results carry them.
+        if seed is None:
+            self._seed_binding = EMPTY_BINDING
+        elif isinstance(seed, Binding):
+            self._seed_binding = seed
+        else:
+            self._seed_binding = Binding(seed)
+        self._seed_map = dict(self._seed_binding.items())
 
     # -- public API -----------------------------------------------------------
 
@@ -123,7 +139,8 @@ class Evaluator:
         """A fresh per-evaluation id-space run (own caches and decode memo)."""
         return IdSpaceEvaluation(
             self._store, self._strategy, reuse_patterns=self._reuse_patterns,
-            observe_plans=self._observe_plans,
+            observe_plans=self._observe_plans, deadline=self._deadline,
+            seed=self._seed_map,
         )
 
     # -- dispatch ----------------------------------------------------------------
@@ -155,22 +172,24 @@ class Evaluator:
 
     def _eval_bgp(self, node):
         if not node.patterns:
-            return iter((EMPTY_BINDING,))
+            return iter((self._seed_binding,))
         if self._strategy == NESTED_LOOP:
             return self._bgp_nested_loop(node)
         return self._bgp_scan_hash(node)
 
     def _bgp_nested_loop(self, node):
-        solutions = iter((EMPTY_BINDING,))
+        solutions = iter((self._seed_binding,))
         for position, pattern in enumerate(node.patterns):
             solutions = self._extend_by_pattern(solutions, pattern)
             for expression in node.filters_at(position):
                 solutions = self._apply_inline_filter(solutions, expression)
         return solutions
 
-    @staticmethod
-    def _apply_inline_filter(solutions, expression):
+    def _apply_inline_filter(self, solutions, expression):
+        check = self._check
         for binding in solutions:
+            if check is not None:
+                check()
             if effective_boolean_value(expression, binding):
                 yield binding
 
@@ -185,16 +204,22 @@ class Evaluator:
                 lookup.append(binding.get(term))
             else:
                 lookup.append(term)
+        check = self._check
         for triple in self._store.triples(*lookup):
+            if check is not None:
+                check()
             extended = _bind_triple(pattern, triple, binding)
             if extended is not None:
                 yield extended
 
     def _bgp_scan_hash(self, node):
-        solutions = [EMPTY_BINDING]
+        check = self._check
+        solutions = [self._seed_binding]
         for position, pattern in enumerate(node.patterns):
             pattern_bindings = []
             for triple in self._scan_pattern(pattern):
+                if check is not None:
+                    check()
                 extended = _bind_triple(pattern, triple, EMPTY_BINDING)
                 if extended is not None:
                     pattern_bindings.append(extended)
@@ -303,8 +328,11 @@ class Evaluator:
                 unkeyed.append(right_binding)
             else:
                 keyed.setdefault(key, []).append(right_binding)
+        check = self._check
         results = []
         for left_binding in left:
+            if check is not None:
+                check()
             key = _join_key(left_binding, shared)
             if key is None:
                 candidates = right

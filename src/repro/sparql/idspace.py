@@ -155,7 +155,7 @@ class IdSpaceEvaluation:
     """
 
     def __init__(self, store, strategy=NESTED_LOOP, reuse_patterns=False,
-                 observe_plans=False):
+                 observe_plans=False, deadline=None, seed=None):
         if not getattr(store, "supports_id_access", False):
             raise EvaluationError(
                 f"store {store!r} does not support id-space evaluation"
@@ -167,6 +167,16 @@ class IdSpaceEvaluation:
         #: When set, planned BGP steps count the rows they produce into
         #: their PlanStep.actual field (the EXPLAIN instrumentation).
         self._observe = observe_plans
+        #: Cooperative evaluation budget (a Deadline-like object): the
+        #: row-producing hot loops call ``_check()`` so an expired budget
+        #: raises :class:`~repro.sparql.errors.QueryTimeout` mid-stream.
+        self._deadline = deadline
+        self._check = None if deadline is None else deadline.check
+        #: Prepared-query parameter pre-binding (variable name -> term),
+        #: encoded into the starting row of every BGP by :meth:`solve`.
+        self._seed = dict(seed) if seed else {}
+        self._seed_row = None
+        self._seed_slots = frozenset()
         self._pattern_cache = {}
         self._term_memo = {}
         self._layout = None
@@ -178,7 +188,35 @@ class IdSpaceEvaluation:
         if isinstance(tree, algebra.Ask):
             raise EvaluationError("solve() takes the Ask operand, not the Ask node")
         self._layout = SlotLayout.for_tree(tree)
+        if not self._encode_seed():
+            # A pre-bound term the dictionary has never seen: no triple
+            # pattern using that variable can match, the same short-circuit
+            # unknown query constants take.
+            return self._layout, iter(())
         return self._layout, self._eval(tree)
+
+    def _encode_seed(self):
+        """Encode the pre-binding seed into the starting row.
+
+        Seed variables without a slot (never used by the query) are ignored;
+        a seed term unknown to the dictionary makes the evaluation empty
+        (returns False).  Seeded slots count as bound for hash-join keying.
+        """
+        row = list(self._layout.empty_row())
+        slots = set()
+        lookup = self._dictionary.lookup
+        for name, term in self._seed.items():
+            slot = self._layout.slot(name)
+            if slot is None:
+                continue
+            term_id = lookup(term)
+            if term_id is None:
+                return False
+            row[slot] = term_id
+            slots.add(slot)
+        self._seed_row = tuple(row)
+        self._seed_slots = frozenset(slots)
+        return True
 
     def ask(self, tree):
         """Existence test: True as soon as one solution row exists."""
@@ -280,11 +318,17 @@ class IdSpaceEvaluation:
             compiled.append(tuple(parts))
         return compiled
 
+    def _start_row(self):
+        """The starting solution row of a BGP (the pre-binding seed, if any)."""
+        if self._seed_row is not None:
+            return self._seed_row
+        return self._layout.empty_row()
+
     def _eval_bgp(self, node, seeds=None):
         if not node.patterns:
             if seeds is not None:
                 return iter(seeds)
-            return iter((self._layout.empty_row(),))
+            return iter((self._start_row(),))
         compiled = self._compile_patterns(node.patterns)
         if compiled is None:
             return iter(())
@@ -295,7 +339,7 @@ class IdSpaceEvaluation:
         return self._bgp_scan_hash(node, compiled)
 
     def _bgp_nested_loop(self, node, compiled, seeds=None):
-        rows = iter(seeds) if seeds is not None else iter((self._layout.empty_row(),))
+        rows = iter(seeds) if seeds is not None else iter((self._start_row(),))
         for position, cpattern in enumerate(compiled):
             rows = self._extend_rows(rows, cpattern)
             for expression in node.filters_at(position):
@@ -313,11 +357,12 @@ class IdSpaceEvaluation:
         """
         layout = self._layout
         empty = layout.empty_row()
+        check = self._check
         if seeds is not None:
             rows = iter(seeds)
         else:
-            rows = iter((empty,))
-        bound_slots = set()
+            rows = iter((self._start_row(),))
+        bound_slots = set(self._seed_slots)
         for name in plan.outer_bound:
             slot = layout.slot(name)
             if slot is not None:
@@ -330,6 +375,8 @@ class IdSpaceEvaluation:
                     return iter(())
                 pattern_rows = []
                 for ids in self._scan_ids(cpattern):
+                    if check is not None:
+                        check()
                     row = _bind_ids(empty, cpattern, ids)
                     if row is not None:
                         pattern_rows.append(row)
@@ -361,29 +408,38 @@ class IdSpaceEvaluation:
     def _extend_rows(self, rows, cpattern):
         """Index nested-loop step: probe the store once per current row."""
         triples_ids = self._store.triples_ids
+        check = self._check
         (s_var, s_ref), (p_var, p_ref), (o_var, o_ref) = cpattern
         for row in rows:
             s = row[s_ref] if s_var else s_ref
             p = row[p_ref] if p_var else p_ref
             o = row[o_ref] if o_var else o_ref
             for ids in triples_ids(s, p, o):
+                if check is not None:
+                    check()
                 extended = _bind_ids(row, cpattern, ids)
                 if extended is not None:
                     yield extended
 
     def _filter_rows(self, rows, expression):
+        check = self._check
         for row in rows:
+            if check is not None:
+                check()
             if self._ebv(expression, row):
                 yield row
 
     def _bgp_scan_hash(self, node, compiled):
         layout = self._layout
         empty = layout.empty_row()
-        solutions = [empty]
-        bound_slots = set()
+        check = self._check
+        solutions = [self._start_row()]
+        bound_slots = set(self._seed_slots)
         for position, cpattern in enumerate(compiled):
             pattern_rows = []
             for ids in self._scan_ids(cpattern):
+                if check is not None:
+                    check()
                 row = _bind_ids(empty, cpattern, ids)
                 if row is not None:
                     pattern_rows.append(row)
@@ -491,8 +547,11 @@ class IdSpaceEvaluation:
                 loose.append((row, equi_key))
             else:
                 keyed.setdefault((shared_key, equi_key), []).append(row)
+        check = self._check
         results = []
         for left_row in left:
+            if check is not None:
+                check()
             matched = False
             equi_key = _cells_key(left_row, equi_left, value_key)
             if equi_key is not None:

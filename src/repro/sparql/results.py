@@ -1,6 +1,20 @@
-"""Query result containers returned by :class:`~repro.sparql.engine.SparqlEngine`."""
+"""Eager query-result containers: the materialized view of a cursor.
+
+Since the prepared/streaming redesign the primary result surface is the
+cursor protocol (:mod:`.cursor`): ``engine.prepare(text).run()`` hands back
+a lazy, iterate-once :class:`~repro.sparql.cursor.SelectCursor` or
+:class:`~repro.sparql.cursor.AskCursor`.  The classes below are what
+``cursor.all()`` (and the compatible eager shorthand ``engine.query()``)
+materialize into: random access, ``len()``, and the order-insensitive
+multiset ``__eq__`` that the cross-engine agreement tests and benchmarks
+compare with.  They share the cursor's serialization surface, so eager and
+streaming results emit byte-identical W3C SPARQL-results documents.
+"""
 
 from __future__ import annotations
+
+from .bindings import variable_name
+from . import serializers
 
 
 class SelectResult:
@@ -24,14 +38,18 @@ class SelectResult:
     def __bool__(self):
         return bool(self.bindings)
 
+    def first(self):
+        """The first solution mapping, or None when the result is empty."""
+        return self.bindings[0] if self.bindings else None
+
     def rows(self):
         """Result rows as tuples following the projection variable order."""
-        names = [v.name if hasattr(v, "name") else str(v).lstrip("?") for v in self.variables]
+        names = [variable_name(v) for v in self.variables]
         return [tuple(binding.get(name) for name in names) for binding in self.bindings]
 
     def column(self, variable):
         """All values of one projection variable, in row order."""
-        name = variable.name if hasattr(variable, "name") else str(variable).lstrip("?")
+        name = variable_name(variable)
         return [binding.get(name) for binding in self.bindings]
 
     def as_multiset(self):
@@ -41,6 +59,14 @@ class SelectResult:
             key = frozenset(binding.items())
             counts[key] = counts.get(key, 0) + 1
         return counts
+
+    def serialize(self, format="json"):
+        """The result as one W3C SPARQL-results document (json/csv/tsv)."""
+        return serializers.serialize(self.variables, self.bindings, format)
+
+    def write(self, fp, format="json"):
+        """Serialize the result to a file object; returns rows written."""
+        return serializers.write(fp, self.variables, self.bindings, format)
 
     def __eq__(self, other):
         if not isinstance(other, SelectResult):
@@ -75,6 +101,13 @@ class AskResult:
     def __len__(self):
         # Mirrors the paper's result-size tables where ASK answers count as one row.
         return 1
+
+    def serialize(self, format="json"):
+        """The answer as one W3C SPARQL-results document (json/csv/tsv)."""
+        return serializers.serialize((), self, format)
+
+    def write(self, fp, format="json"):
+        return serializers.write(fp, (), self, format)
 
     def __repr__(self):
         return f"AskResult({self.value})"

@@ -1,0 +1,152 @@
+"""W3C SPARQL-results serializers: JSON, CSV, and TSV.
+
+Implements the result exchange formats a serving frontend speaks:
+
+* ``json`` — SPARQL 1.1 Query Results JSON Format (``application/
+  sparql-results+json``): a ``head.vars`` list plus one term object per
+  binding (``{"type": "uri"|"literal"|"bnode", "value": ...}`` with optional
+  ``datatype`` / ``xml:lang``); ASK answers become ``{"boolean": ...}``.
+* ``csv`` — SPARQL 1.1 Query Results CSV: bare variable names in the header,
+  plain lexical values (IRIs unbracketed, blank nodes as ``_:label``),
+  RFC 4180 quoting and CRLF line endings.
+* ``tsv`` — SPARQL 1.1 Query Results TSV: ``?var`` headers and terms in
+  their SPARQL (N-Triples) surface syntax, one solution per line.
+
+Every ``write_*`` function streams: it consumes the solution iterable
+exactly once and emits rows as they arrive, so serializing a cursor never
+materializes the result — the serialization path has the same
+time-to-first-byte as the cursor has time-to-first-row.  CSV/TSV have no
+W3C-defined ASK form; a single ``true``/``false`` line is emitted, matching
+common endpoint practice.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from ..rdf.terms import BNode, Literal, URIRef
+from .bindings import variable_name
+
+#: Formats understood by :func:`serialize` / :func:`write` (and the CLI).
+FORMATS = ("json", "csv", "tsv")
+
+
+def term_json(term):
+    """The SPARQL-results JSON object for one RDF term."""
+    if isinstance(term, URIRef):
+        return {"type": "uri", "value": term.value}
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": term.label}
+    if isinstance(term, Literal):
+        encoded = {"type": "literal", "value": term.lexical}
+        if term.language is not None:
+            encoded["xml:lang"] = term.language
+        elif term.datatype is not None:
+            encoded["datatype"] = term.datatype
+        return encoded
+    raise TypeError(f"cannot serialize term {term!r}")
+
+
+def term_csv(term):
+    """The plain-lexical CSV cell for one RDF term ('' for unbound)."""
+    if term is None:
+        return ""
+    if isinstance(term, URIRef):
+        return term.value
+    if isinstance(term, BNode):
+        return f"_:{term.label}"
+    if isinstance(term, Literal):
+        return term.lexical
+    raise TypeError(f"cannot serialize term {term!r}")
+
+
+def term_tsv(term):
+    """The N-Triples-syntax TSV cell for one RDF term ('' for unbound)."""
+    if term is None:
+        return ""
+    return term.n3()
+
+
+def write_json(fp, variables, bindings):
+    """Stream a SELECT solution sequence as SPARQL-results JSON."""
+    names = [variable_name(v) for v in variables]
+    fp.write('{"head": {"vars": %s}, "results": {"bindings": [' % json.dumps(names))
+    count = 0
+    for binding in bindings:
+        if count:
+            fp.write(", ")
+        encoded = {
+            name: term_json(term)
+            for name in names
+            for term in (binding.get(name),)
+            if term is not None
+        }
+        fp.write(json.dumps(encoded))
+        count += 1
+    fp.write("]}}")
+    return count
+
+
+def write_csv(fp, variables, bindings):
+    """Stream a SELECT solution sequence as SPARQL-results CSV."""
+    names = [variable_name(v) for v in variables]
+    writer = csv.writer(fp, lineterminator="\r\n")
+    writer.writerow(names)
+    count = 0
+    for binding in bindings:
+        writer.writerow([term_csv(binding.get(name)) for name in names])
+        count += 1
+    return count
+
+
+def write_tsv(fp, variables, bindings):
+    """Stream a SELECT solution sequence as SPARQL-results TSV."""
+    names = [variable_name(v) for v in variables]
+    fp.write("\t".join("?" + name for name in names) + "\n")
+    count = 0
+    for binding in bindings:
+        fp.write("\t".join(term_tsv(binding.get(name)) for name in names) + "\n")
+        count += 1
+    return count
+
+
+def write_ask_json(fp, value):
+    fp.write(json.dumps({"head": {}, "boolean": bool(value)}))
+    return 1
+
+
+def write_ask_csv(fp, value):
+    fp.write("true\r\n" if value else "false\r\n")
+    return 1
+
+
+def write_ask_tsv(fp, value):
+    fp.write("true\n" if value else "false\n")
+    return 1
+
+
+_SELECT_WRITERS = {"json": write_json, "csv": write_csv, "tsv": write_tsv}
+_ASK_WRITERS = {"json": write_ask_json, "csv": write_ask_csv, "tsv": write_ask_tsv}
+
+
+def write(fp, variables, result, format="json"):
+    """Stream-serialize a result (cursor or eager container) to ``fp``.
+
+    ``result`` is either an iterable of solution bindings (SELECT) or an
+    ASK-formed object exposing a boolean ``value``.  Returns the number of
+    rows written.
+    """
+    if format not in FORMATS:
+        raise ValueError(f"unknown result format {format!r} (expected one of {FORMATS})")
+    if getattr(result, "form", None) == "ASK":
+        return _ASK_WRITERS[format](fp, bool(result))
+    return _SELECT_WRITERS[format](fp, variables, result)
+
+
+def serialize(variables, result, format="json"):
+    """Serialize a result into one string; see :func:`write`."""
+    buffer = io.StringIO()
+    write(buffer, variables, result, format)
+    return buffer.getvalue()

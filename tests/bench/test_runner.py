@@ -35,6 +35,42 @@ class TestRun:
         assert measurement.status == TIMEOUT
         assert measurement.elapsed > 0.0
 
+    def test_timeout_fires_mid_stream_before_full_evaluation(self, engine):
+        # The true-deadline guarantee: an over-budget query is interrupted
+        # *while* evaluating — no result size is ever recorded and the
+        # measured time stays far below what the full evaluation costs.
+        runner = QueryRunner(timeout=60.0)
+        full = runner.run(engine, get_query("Q2"))
+        assert full.status == SUCCESS and full.result_size > 0
+        timed_out = QueryRunner(timeout=1e-4).run(engine, get_query("Q2"))
+        assert timed_out.status == TIMEOUT
+        assert timed_out.result_size is None
+        assert "deadline" in timed_out.error
+
+    def test_prepared_queries_are_cached_per_engine(self, engine):
+        runner = QueryRunner(timeout=60.0)
+        runner.run(engine, get_query("Q1"))
+        prepared = engine.prepare_cached(get_query("Q1").text)
+        first_count = prepared.run_count
+        runner.run(engine, get_query("Q1"))
+        assert engine.prepare_cached(get_query("Q1").text) is prepared
+        assert prepared.run_count == first_count + 1
+
+    def test_runner_does_not_pin_engines(self, generated_graph_small):
+        # The statement cache is engine-owned, so the runner holds no
+        # references: a dropped engine (and its store) is collectable even
+        # after the runner executed queries against it.
+        import gc
+        import weakref
+
+        runner = QueryRunner(timeout=60.0, trace_memory=False)
+        scratch = SparqlEngine.from_graph(generated_graph_small, NATIVE_OPTIMIZED)
+        runner.run(scratch, get_query("Q1"))
+        ref = weakref.ref(scratch)
+        del scratch
+        gc.collect()
+        assert ref() is None
+
     def test_error_classification(self, engine):
         broken = BenchmarkQuery(
             identifier="Qbroken",

@@ -76,6 +76,32 @@ class TestEngineLifecycle:
         engines = load_engines(list(tiny_graph()), configs=(NATIVE_BASELINE,))
         assert len(engines[0].store) == len(tiny_graph())
 
+    def test_load_engines_shares_one_store_per_family(self):
+        engines = load_engines(tiny_graph())
+        by_name = {engine.config.name: engine for engine in engines}
+        assert (by_name["inmemory-baseline"].store
+                is by_name["inmemory-optimized"].store)
+        assert (by_name["native-baseline"].store
+                is by_name["native-optimized"].store)
+        assert (by_name["inmemory-baseline"].store
+                is not by_name["native-baseline"].store)
+
+    def test_load_engines_iterates_graph_once_per_family(self):
+        class CountingGraph(Graph):
+            iterations = 0
+
+            def __iter__(self):
+                CountingGraph.iterations += 1
+                return super().__iter__()
+
+        graph = CountingGraph()
+        for triple in tiny_graph():
+            graph.add(triple)
+        load_engines(graph)
+        # Four presets over two store families: the source is consumed once
+        # per family, not once per preset.
+        assert CountingGraph.iterations == 2
+
 
 class TestQueryHelpers:
     def test_select_returns_rows(self):
