@@ -1,0 +1,115 @@
+"""Multi-client throughput scaling — the serving subsystem's payoff.
+
+The single-query benches measure latency; this bench measures *capacity*:
+the closed-loop workload harness replays the default query mix against one
+read-only 5k-triple snapshot-backed store and reports sustained QpS plus
+p50/p95/p99 latency at 1 and at 4 workers.  Workers are processes (the
+parent builds the engine once, clients inherit the store copy-on-write), so
+the in-process harness scales with cores rather than serializing on the
+GIL.  Acceptance: at the full document size on a machine with >= 4 cores,
+4 workers must sustain at least 2x the QpS of 1 worker.
+
+``SP2B_WORKLOAD_TRIPLES`` / ``SP2B_WORKLOAD_DURATION`` scale the document
+and the per-point measurement window for smoke runs; the scaling assertion
+only applies at the full size on sufficiently parallel hardware.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.reporting import workload_table
+from repro.bench.workload import (
+    WorkloadMix,
+    process_mode_available,
+    run_engine_workload,
+)
+from repro.cache import DatasetCache
+from repro.generator import GeneratorConfig
+from repro.sparql import NATIVE_COST, SparqlEngine
+
+#: The read-only document every client shares; 5k is the acceptance size.
+WORKLOAD_BENCH_TRIPLES = int(os.environ.get("SP2B_WORKLOAD_TRIPLES", "5000"))
+
+#: Seconds each closed-loop client issues queries per measured point.
+WORKLOAD_BENCH_DURATION = float(os.environ.get("SP2B_WORKLOAD_DURATION", "2.0"))
+
+#: Acceptance bar: QpS at 4 workers over QpS at 1 worker.
+REQUIRED_SPEEDUP = 2.0
+
+#: Cores needed before the speedup assertion is meaningful: four workers
+#: cannot double a single worker's throughput on fewer than four cores.
+REQUIRED_CORES = 4
+
+
+@pytest.fixture(scope="module")
+def shared_engine():
+    """One snapshot-backed engine, built once before any client forks."""
+    cache = DatasetCache()
+    resolved = cache.resolve(
+        GeneratorConfig(triple_limit=WORKLOAD_BENCH_TRIPLES, seed=823645187)
+    )
+    return SparqlEngine.from_store(resolved.store, NATIVE_COST)
+
+
+@pytest.mark.skipif(not process_mode_available(),
+                    reason="workload process mode requires the fork start method")
+def test_workload_throughput_scales_with_workers(benchmark, shared_engine):
+    """4 closed-loop workers sustain >= 2x the QpS of 1 on a shared store."""
+    mix = WorkloadMix.from_catalog()
+    reports = {}
+    for clients in (1, 4):
+        reports[clients] = run_engine_workload(
+            shared_engine, mix=mix, clients=clients,
+            duration=WORKLOAD_BENCH_DURATION, mode="process", seed=823,
+        )
+
+    # The pytest-benchmark entry (informational; the regression gate watches
+    # the per-catalog-query benches): one short single-client burst.
+    benchmark.pedantic(
+        lambda: run_engine_workload(
+            shared_engine, mix=mix, clients=1, duration=0.2,
+            mode="process", seed=824,
+        ),
+        rounds=2, iterations=1,
+    )
+
+    for clients, report in sorted(reports.items()):
+        print(f"\n{clients} worker(s): {report.qps():.1f} QpS sustained, "
+              f"{report.total} requests "
+              f"({report.timeouts} timeout / {report.errors} error)")
+        print(workload_table(report))
+        tails = report.percentiles()
+        assert report.total > 0
+        assert report.errors == 0
+        assert 0 < tails["p50"] <= tails["p95"] <= tails["p99"]
+
+    speedup = reports[4].qps() / max(reports[1].qps(), 1e-9)
+    cores = os.cpu_count() or 1
+    print(f"\nThroughput scaling at {WORKLOAD_BENCH_TRIPLES} triples: "
+          f"{reports[1].qps():.1f} -> {reports[4].qps():.1f} QpS "
+          f"({speedup:.2f}x at 4 workers, {cores} cores)")
+    if WORKLOAD_BENCH_TRIPLES >= 5_000 and cores >= REQUIRED_CORES:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"4 workers only sustained {speedup:.2f}x the single-worker QpS "
+            f"(required {REQUIRED_SPEEDUP}x on {cores} cores)"
+        )
+    elif cores < REQUIRED_CORES:
+        print(f"(speedup assertion skipped: {cores} core(s) < "
+              f"{REQUIRED_CORES} required for a meaningful 4-worker scaling)")
+
+
+def test_workload_tail_latency_reported(benchmark, shared_engine):
+    """Thread-mode smoke: the report carries per-query tails for every id."""
+    mix = WorkloadMix.from_catalog({"Q1": 3, "Q10": 2, "Q12c": 1})
+    report = benchmark.pedantic(
+        lambda: run_engine_workload(
+            shared_engine, mix=mix, clients=2, duration=0.3,
+            mode="thread", seed=7,
+        ),
+        rounds=2, iterations=1,
+    )
+    assert report.errors == 0
+    for query_id in report.query_ids():
+        tails = report.percentiles(query_id=query_id)
+        assert tails["p50"] <= tails["p95"] <= tails["p99"]

@@ -21,7 +21,16 @@ Typical usage::
 """
 
 from .analysis import DocumentSetStatistics, analyze
-from .bench import BenchmarkHarness, ExperimentConfig, QueryRunner, run_experiment
+from .bench import (
+    BenchmarkHarness,
+    ExperimentConfig,
+    QueryRunner,
+    WorkloadMix,
+    WorkloadReport,
+    run_engine_workload,
+    run_experiment,
+    run_http_workload,
+)
 from .generator import DblpGenerator, GeneratorConfig, generate_graph
 from .queries import ALL_QUERIES, BenchmarkQuery, get_query
 from .rdf import BNode, Graph, Literal, Namespace, Triple, URIRef, Variable
@@ -40,6 +49,7 @@ from .sparql import (
     SparqlEngine,
     parse_query,
 )
+from .server import SparqlServer
 
 __version__ = "1.0.0"
 
@@ -75,11 +85,17 @@ __all__ = [
     "IN_MEMORY_OPTIMIZED",
     "NATIVE_BASELINE",
     "NATIVE_OPTIMIZED",
+    # serving
+    "SparqlServer",
     # benchmark methodology
     "BenchmarkHarness",
     "ExperimentConfig",
     "QueryRunner",
     "run_experiment",
+    "WorkloadMix",
+    "WorkloadReport",
+    "run_engine_workload",
+    "run_http_workload",
     # analysis
     "DocumentSetStatistics",
     "analyze",

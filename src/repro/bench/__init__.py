@@ -1,4 +1,4 @@
-"""Benchmark methodology: metrics, query runner, harness, and reporting."""
+"""Benchmark methodology: metrics, runner, harness, workload, reporting."""
 
 from .harness import (
     DEFAULT_DOCUMENT_SIZES,
@@ -17,10 +17,22 @@ from .metrics import (
     arithmetic_mean,
     geometric_mean,
     global_performance,
+    percentile,
     success_matrix,
     success_rate,
 )
 from .runner import QueryRunner, time_loading
+from .workload import (
+    DEFAULT_MIX_WEIGHTS,
+    EngineWorkloadClient,
+    HttpWorkloadClient,
+    WorkloadMix,
+    WorkloadReport,
+    process_mode_available,
+    run_engine_workload,
+    run_http_workload,
+    run_workload,
+)
 from . import reporting
 
 __all__ = [
@@ -40,7 +52,17 @@ __all__ = [
     "arithmetic_mean",
     "geometric_mean",
     "global_performance",
+    "percentile",
     "success_rate",
     "success_matrix",
+    "WorkloadMix",
+    "WorkloadReport",
+    "EngineWorkloadClient",
+    "HttpWorkloadClient",
+    "run_workload",
+    "run_engine_workload",
+    "run_http_workload",
+    "process_mode_available",
+    "DEFAULT_MIX_WEIGHTS",
     "reporting",
 ]

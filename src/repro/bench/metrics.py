@@ -77,6 +77,24 @@ def geometric_mean(values):
     return math.exp(log_sum / len(values))
 
 
+def percentile(values, fraction):
+    """The ``fraction``-quantile of ``values`` (linear interpolation).
+
+    ``fraction`` is in [0, 1] (0.95 for p95).  Returns 0.0 for an empty
+    sequence — workload reports use this for query classes that never ran.
+    """
+    values = sorted(values)
+    if not values:
+        return 0.0
+    if len(values) == 1:
+        return values[0]
+    position = fraction * (len(values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(values) - 1)
+    weight = position - lower
+    return values[lower] * (1.0 - weight) + values[upper] * weight
+
+
 def penalized_times(measurements, penalty=PAPER_PENALTY_SECONDS):
     """Execution times with failures replaced by the penalty value."""
     return [

@@ -121,6 +121,45 @@ def per_query_table(report, query_id):
     return _format_table(headers, rows)
 
 
+def workload_table(report):
+    """Per-query (plus overall) table of a multi-client workload run.
+
+    Columns: request counts by outcome, sustained QpS, and p50/p95/p99
+    latency in milliseconds — the serving-side metrics the single-query
+    tables cannot show.
+    """
+    headers = ["query", "count", "ok", "timeout", "error", "QpS",
+               "p50 [ms]", "p95 [ms]", "p99 [ms]"]
+
+    def row(label, query_id):
+        tails = report.percentiles(query_id=query_id)
+        return [
+            label,
+            report.count(query_id=query_id),
+            report.count("success", query_id=query_id),
+            report.count("timeout", query_id=query_id),
+            report.count("error", query_id=query_id),
+            f"{report.qps(query_id=query_id):.1f}",
+            f"{tails['p50'] * 1e3:.2f}",
+            f"{tails['p95'] * 1e3:.2f}",
+            f"{tails['p99'] * 1e3:.2f}",
+        ]
+
+    rows = [row(query_id, query_id) for query_id in report.query_ids()]
+    rows.append(row("overall", None))
+    return _format_table(headers, rows)
+
+
+def workload_summary(report):
+    """One-line outcome of a workload run (the loadtest header line)."""
+    return (
+        f"{report.clients} client(s), {report.mode} mode, "
+        f"{report.elapsed:.1f}s window: {report.total} requests, "
+        f"{report.successes} ok / {report.timeouts} timeout / "
+        f"{report.errors} error, {report.qps():.1f} QpS sustained"
+    )
+
+
 def full_report(report):
     """All tables concatenated into one printable report."""
     sections = [

@@ -1,0 +1,511 @@
+"""Closed-loop multi-client workload generation: sustained QpS + tail latency.
+
+SP2Bench measures single-query latency; this module measures *serving*
+behaviour: N concurrent clients replay a weighted mix of catalog queries in
+a closed loop (each client issues its next query as soon as the previous
+one answers — no think time), and the report gives sustained
+queries-per-second plus p50/p95/p99 latency, per query class and overall.
+The default mix follows the shape real SPARQL query logs show (Bonifati et
+al., "An Analytical Study of Large SPARQL Query Logs"): dominated by cheap
+point lookups and small selections, with a thin tail of heavy analytic
+queries.
+
+Two execution targets share the client loop:
+
+* :class:`EngineWorkloadClient` — in-process against a shared
+  :class:`~repro.sparql.engine.SparqlEngine` (through its thread-safe
+  prepared-statement cache), and
+* :class:`HttpWorkloadClient` — over HTTP against a running SPARQL
+  Protocol endpoint (one persistent connection per client).
+
+Two concurrency modes, because CPython's GIL makes them measure different
+things: ``thread`` mode runs clients as threads — right for HTTP targets
+(the client side is I/O-bound) and for exercising thread-safety — while
+``process`` mode forks clients as processes, which is the only way a
+pure-Python *in-process* workload scales with cores.  The parent builds the
+engine once (e.g. from a ``.sp2b`` snapshot) before forking, so every
+client inherits the same read-only store via copy-on-write — the store is
+loaded exactly once, as a shared-memory server would.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from http.client import HTTPConnection
+from queue import Empty
+from random import Random
+from urllib.parse import urlsplit
+
+from ..queries.catalog import get_query
+from ..sparql.cursor import Deadline
+from ..sparql.errors import QueryTimeout, SparqlError
+from .metrics import ERROR, SUCCESS, TIMEOUT, percentile
+
+#: Default query mix (weights, not probabilities): mostly cheap lookups and
+#: selections, some mid-weight joins and windows, a thin heavy tail — the
+#: log-study shape scaled onto the SP2Bench catalog.  Q12c keeps the ASK
+#: form in the mix.
+DEFAULT_MIX_WEIGHTS = {
+    "Q1": 30,    # point lookup by title
+    "Q10": 20,   # subject-of lookup (Paul Erdoes as object)
+    "Q3a": 15,   # single-property selection with FILTER
+    "Q11": 10,   # ORDER BY / LIMIT / OFFSET window
+    "Q5b": 10,   # small equi-join
+    "Q2": 5,     # wide star join with OPTIONAL and ORDER BY
+    "Q9": 5,     # UNION + DISTINCT over all persons
+    "Q12c": 5,   # ASK on a fixed triple
+}
+
+#: Tail-latency fractions every report includes.
+REPORT_PERCENTILES = (0.50, 0.95, 0.99)
+
+
+class WorkloadMix:
+    """A weighted mix of (query id, query text) templates."""
+
+    def __init__(self, entries):
+        entries = tuple(
+            (str(identifier), text, float(weight))
+            for identifier, text, weight in entries
+        )
+        if not entries:
+            raise ValueError("a workload mix needs at least one query")
+        if any(weight <= 0 for _i, _t, weight in entries):
+            raise ValueError("mix weights must be positive")
+        self.entries = entries
+        self._cumulative = []
+        total = 0.0
+        for _identifier, _text, weight in entries:
+            total += weight
+            self._cumulative.append(total)
+        self.total_weight = total
+
+    @classmethod
+    def from_catalog(cls, weights=None):
+        """Build a mix of catalog queries from ``{query id: weight}``."""
+        weights = dict(weights or DEFAULT_MIX_WEIGHTS)
+        return cls(
+            (identifier, get_query(identifier).text, weight)
+            for identifier, weight in weights.items()
+        )
+
+    @classmethod
+    def uniform(cls, query_ids):
+        """An equal-weight mix over the given catalog query ids."""
+        return cls.from_catalog({identifier: 1 for identifier in query_ids})
+
+    def query_ids(self):
+        return [identifier for identifier, _text, _weight in self.entries]
+
+    def choose(self, rng):
+        """Pick one ``(query id, text)`` with probability ∝ weight."""
+        point = rng.random() * self.total_weight
+        index = min(bisect_right(self._cumulative, point), len(self.entries) - 1)
+        identifier, text, _weight = self.entries[index]
+        return identifier, text
+
+    def __repr__(self):
+        parts = ", ".join(
+            f"{identifier}:{weight:g}"
+            for identifier, _text, weight in self.entries
+        )
+        return f"WorkloadMix({parts})"
+
+
+# -- execution targets --------------------------------------------------------
+
+
+class EngineWorkloadClient:
+    """Executes mix queries in-process against a shared engine.
+
+    Goes through ``prepare_cached`` — the same statement cache a server
+    worker uses — so each template is parsed and planned once per engine,
+    not once per client.
+    """
+
+    def __init__(self, engine, timeout=None):
+        self.engine = engine
+        self.timeout = timeout
+
+    def execute(self, query_id, text):
+        """Run one query; returns ``(query_id, status, seconds)``."""
+        start = time.perf_counter()
+        try:
+            prepared = self.engine.prepare_cached(text)
+            deadline = None if self.timeout is None else Deadline(self.timeout)
+            with prepared.run(deadline=deadline) as cursor:
+                if cursor.form != "ASK":
+                    for _binding in cursor:
+                        pass
+            status = SUCCESS
+        except QueryTimeout:
+            status = TIMEOUT
+        except SparqlError:
+            status = ERROR
+        except Exception:  # noqa: BLE001 - the load loop must survive anything
+            status = ERROR
+        return query_id, status, time.perf_counter() - start
+
+    def close(self):
+        pass
+
+
+class HttpWorkloadClient:
+    """Executes mix queries over HTTP against a SPARQL Protocol endpoint.
+
+    Holds one persistent connection (re-established after network errors),
+    POSTs the query as ``application/sparql-query``, and classifies the
+    response: 2xx is a success, 503 is a timeout (the server's mapping of
+    an expired deadline), anything else — including transport failures — is
+    an error.
+    """
+
+    def __init__(self, url, timeout=None, format="json"):
+        parts = urlsplit(url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported URL scheme in {url!r}")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.path = parts.path or "/sparql"
+        if timeout is not None:
+            self.path += f"?timeout={timeout:g}"
+        self.timeout = timeout
+        self.accept = {
+            "json": "application/sparql-results+json",
+            "xml": "application/sparql-results+xml",
+            "csv": "text/csv",
+            "tsv": "text/tab-separated-values",
+        }[format]
+        # Socket budget: the per-query budget plus slack for queueing at the
+        # server's worker pool; never below a floor that survives load.
+        self.socket_timeout = max(30.0 if timeout is None else timeout * 4, 10.0)
+        self._connection = None
+
+    def _connect(self):
+        if self._connection is None:
+            self._connection = HTTPConnection(
+                self.host, self.port, timeout=self.socket_timeout
+            )
+        return self._connection
+
+    def execute(self, query_id, text):
+        """Run one query; returns ``(query_id, status, seconds)``."""
+        start = time.perf_counter()
+        try:
+            connection = self._connect()
+            connection.request(
+                "POST", self.path, body=text.encode("utf-8"),
+                headers={
+                    "Content-Type": "application/sparql-query",
+                    "Accept": self.accept,
+                },
+            )
+            response = connection.getresponse()
+            response.read()
+            if 200 <= response.status < 300:
+                status = SUCCESS
+            elif response.status == 503:
+                status = TIMEOUT
+            else:
+                status = ERROR
+        except Exception:  # noqa: BLE001 - transport failure = error record
+            status = ERROR
+            self.close()
+        return query_id, status, time.perf_counter() - start
+
+    def close(self):
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+
+# -- the closed loop ----------------------------------------------------------
+
+
+def _client_loop(client, mix, duration, rng):
+    """One closed-loop client: issue-wait-repeat until the duration is up.
+
+    Returns ``(start, end, records)`` — the client's own wall-clock span
+    plus one ``(query_id, status, seconds)`` record per request.  The loop
+    never issues a request after its span ends, but always finishes the one
+    in flight (its latency still counts — closed-loop semantics).
+    """
+    records = []
+    start = time.perf_counter()
+    end = start + duration
+    while time.perf_counter() < end:
+        query_id, text = mix.choose(rng)
+        records.append(client.execute(query_id, text))
+    client.close()
+    return start, time.perf_counter(), records
+
+
+@dataclass
+class WorkloadReport:
+    """Everything measured by one multi-client workload run."""
+
+    clients: int
+    duration: float
+    mode: str
+    mix_ids: list = field(default_factory=list)
+    #: Flat ``(query_id, status, seconds)`` records across all clients.
+    records: list = field(default_factory=list)
+    #: Per-client ``(start, end)`` spans on each client's own clock.
+    spans: list = field(default_factory=list)
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def total(self):
+        return len(self.records)
+
+    def count(self, status=None, query_id=None):
+        return sum(
+            1 for record_id, record_status, _seconds in self.records
+            if (status is None or record_status == status)
+            and (query_id is None or record_id == query_id)
+        )
+
+    @property
+    def successes(self):
+        return self.count(SUCCESS)
+
+    @property
+    def timeouts(self):
+        return self.count(TIMEOUT)
+
+    @property
+    def errors(self):
+        return self.count(ERROR)
+
+    @property
+    def elapsed(self):
+        """The measurement window: first client start to last client end."""
+        if not self.spans:
+            return self.duration
+        return max(end for _start, end in self.spans) - min(
+            start for start, _end in self.spans
+        )
+
+    def qps(self, query_id=None):
+        """Sustained successful queries per second over the window."""
+        window = self.elapsed
+        if window <= 0:
+            return 0.0
+        return self.count(SUCCESS, query_id=query_id) / window
+
+    def latencies(self, query_id=None, status=SUCCESS):
+        return [
+            seconds for record_id, record_status, seconds in self.records
+            if record_status == status
+            and (query_id is None or record_id == query_id)
+        ]
+
+    def percentiles(self, query_id=None):
+        """``{"p50": ..., "p95": ..., "p99": ...}`` latencies in seconds."""
+        values = self.latencies(query_id=query_id)
+        return {
+            f"p{int(fraction * 100)}": percentile(values, fraction)
+            for fraction in REPORT_PERCENTILES
+        }
+
+    def query_ids(self):
+        """Query ids observed in the records, catalog order first."""
+        seen = {record_id for record_id, _status, _seconds in self.records}
+        ordered = [identifier for identifier in self.mix_ids if identifier in seen]
+        ordered.extend(sorted(seen.difference(ordered)))
+        return ordered
+
+    def as_dict(self):
+        """A JSON-ready summary (the ``repro loadtest --json`` output)."""
+        per_query = {}
+        for identifier in self.query_ids():
+            per_query[identifier] = {
+                "count": self.count(query_id=identifier),
+                "success": self.count(SUCCESS, query_id=identifier),
+                "timeout": self.count(TIMEOUT, query_id=identifier),
+                "error": self.count(ERROR, query_id=identifier),
+                "qps": self.qps(query_id=identifier),
+                **self.percentiles(query_id=identifier),
+            }
+        return {
+            "clients": self.clients,
+            "duration": self.duration,
+            "elapsed": self.elapsed,
+            "mode": self.mode,
+            "total": self.total,
+            "success": self.successes,
+            "timeout": self.timeouts,
+            "error": self.errors,
+            "qps": self.qps(),
+            **self.percentiles(),
+            "per_query": per_query,
+        }
+
+
+def process_mode_available():
+    """Whether ``mode="process"`` can run here (needs the fork method)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def run_workload(client_factory, mix, clients=4, duration=5.0, mode="thread",
+                 seed=97):
+    """Run a closed-loop workload; returns a :class:`WorkloadReport`.
+
+    ``client_factory`` builds one client per worker (called inside the
+    worker, so process-mode clients own their sockets).  ``mode`` is
+    ``"thread"`` or ``"process"``; process mode requires the ``fork`` start
+    method (the engine/store built before the call is inherited
+    copy-on-write, i.e. loaded exactly once).  Each client's random stream
+    is seeded from ``seed`` + client index, so a run is reproducible up to
+    scheduling.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if mode == "thread":
+        outcomes = _run_threads(client_factory, mix, clients, duration, seed)
+    elif mode == "process":
+        outcomes = _run_processes(client_factory, mix, clients, duration, seed)
+    else:
+        raise ValueError(f"unknown workload mode {mode!r}")
+    report = WorkloadReport(
+        clients=clients, duration=duration, mode=mode, mix_ids=mix.query_ids()
+    )
+    for start, end, records in outcomes:
+        report.spans.append((start, end))
+        report.records.extend(records)
+    return report
+
+
+def _run_threads(client_factory, mix, clients, duration, seed):
+    barrier = threading.Barrier(clients)
+    outcomes = [None] * clients
+    errors = []
+
+    def work(index):
+        try:
+            client = client_factory()
+            rng = Random(seed + index)
+            barrier.wait()
+            outcomes[index] = _client_loop(client, mix, duration, rng)
+        except Exception as error:  # noqa: BLE001 - surfaced to the caller
+            barrier.abort()
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=work, args=(index,), name=f"workload-{index}")
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def _run_processes(client_factory, mix, clients, duration, seed):
+    if not process_mode_available():
+        raise RuntimeError(
+            "workload process mode requires the fork start method "
+            "(unavailable on this platform); use mode='thread'"
+        )
+    context = multiprocessing.get_context("fork")
+    queue = context.Queue()
+    barrier = context.Barrier(clients)
+
+    def work(index):
+        # Every exit path enqueues a message: the parent never has to
+        # block on a child that died before reporting.  A failing child
+        # breaks the barrier so its siblings fail fast instead of waiting
+        # forever for a start that cannot happen.
+        try:
+            client = client_factory()
+            rng = Random(seed + index)
+            barrier.wait()
+            queue.put((index, _client_loop(client, mix, duration, rng), None))
+        except Exception as error:  # noqa: BLE001 - relayed to the parent
+            try:
+                barrier.abort()
+            except Exception:  # noqa: BLE001 - barrier may be gone already
+                pass
+            queue.put((index, None, f"{type(error).__name__}: {error}"))
+
+    processes = [
+        context.Process(target=work, args=(index,), name=f"workload-{index}")
+        for index in range(clients)
+    ]
+    for process in processes:
+        process.start()
+    outcomes = []
+    failures = []
+    try:
+        # Collect one message per child, polling so a child killed before
+        # it could report (OOM, signal) cannot hang the run.
+        give_up_at = time.monotonic() + duration + 60.0
+        pending = clients
+        while pending:
+            try:
+                _index, outcome, failure = queue.get(timeout=0.5)
+            except Empty:
+                # Both child exit paths enqueue first and exit 0, so a
+                # non-zero exit (OOM kill, signal) means a lost report.
+                dead = sum(
+                    1 for process in processes
+                    if not process.is_alive()
+                    and process.exitcode not in (0, None)
+                )
+                if dead:
+                    raise RuntimeError(
+                        f"{dead} workload client process(es) died without "
+                        "reporting a result"
+                    ) from None
+                if time.monotonic() > give_up_at:
+                    raise RuntimeError(
+                        "workload client processes did not finish within "
+                        f"{duration + 60.0:.0f}s"
+                    ) from None
+                continue
+            pending -= 1
+            if failure is not None:
+                failures.append(failure)
+            else:
+                outcomes.append(outcome)
+    finally:
+        for process in processes:
+            process.join(timeout=5.0)
+            if process.is_alive():
+                process.terminate()
+    if failures:
+        raise RuntimeError(f"workload client failed: {failures[0]}")
+    return outcomes
+
+
+def run_engine_workload(engine, mix=None, clients=4, duration=5.0,
+                        mode="thread", timeout=None, seed=97):
+    """Closed-loop workload directly against an engine (no HTTP).
+
+    ``mode="process"`` is how an in-process workload scales past the GIL:
+    the engine (and its store) must be fully built before the call, so the
+    forked clients share it copy-on-write.
+    """
+    mix = mix or WorkloadMix.from_catalog()
+    return run_workload(
+        lambda: EngineWorkloadClient(engine, timeout=timeout),
+        mix, clients=clients, duration=duration, mode=mode, seed=seed,
+    )
+
+
+def run_http_workload(url, mix=None, clients=4, duration=5.0, mode="thread",
+                      timeout=None, seed=97):
+    """Closed-loop workload against a running SPARQL Protocol endpoint."""
+    mix = mix or WorkloadMix.from_catalog()
+    return run_workload(
+        lambda: HttpWorkloadClient(url, timeout=timeout),
+        mix, clients=clients, duration=duration, mode=mode, seed=seed,
+    )

@@ -1,17 +1,24 @@
-"""Command-line entry points: generate, build, query, bench, cache admin.
+"""Command-line entry points: generate, build, query, serve, loadtest, bench.
 
 Console scripts are installed via ``pyproject.toml``:
 
 ``repro``
     The dispatching entry point:
-    ``repro {generate|build|query|bench|cache} ...``.
+    ``repro {generate|build|query|serve|loadtest|bench|cache} ...``.
     ``repro query --explain`` prints the physical query plan with estimated
     and actual per-step cardinalities; ``repro query`` also accepts ``.sp2b``
     snapshot paths, which skip parsing and store building entirely.  Queries
     run through the prepared/streaming engine API: ``--repeat N`` amortizes
     parse+plan across executions, ``--limit N`` stops evaluation after N
-    rows, and ``--format {table,json,csv,tsv}`` selects the rendering
-    (json/csv/tsv are the W3C SPARQL-results serializations).
+    rows, and ``--format {table,json,xml,csv,tsv}`` selects the rendering
+    (json/xml/csv/tsv are the W3C SPARQL-results serializations).  Query
+    failures print the machine-readable error payload (the same JSON shape
+    the server returns) to stderr.
+    ``repro serve`` exposes a document or snapshot as a W3C SPARQL Protocol
+    endpoint (``GET/POST /sparql``) on a thread worker pool; ``repro
+    loadtest`` replays a weighted closed-loop query mix against a running
+    endpoint (``--url``) or in-process against a document, reporting
+    sustained QpS and p50/p95/p99 latency.
     ``repro build`` fills the dataset cache; ``repro cache {list,clear,key}``
     administers it (``key`` prints the composite key CI uses for
     ``actions/cache``).
@@ -28,12 +35,19 @@ Console scripts are installed via ``pyproject.toml``:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
 from .bench.harness import DEFAULT_DOCUMENT_SIZES, ExperimentConfig, BenchmarkHarness
 from .bench import reporting
+from .bench.workload import (
+    WorkloadMix,
+    process_mode_available,
+    run_engine_workload,
+    run_http_workload,
+)
 from .cache import DatasetCache, combined_cache_key, dataset_key, default_cache_dir
 from .generator.config import GeneratorConfig
 from .generator.generator import DblpGenerator
@@ -45,6 +59,7 @@ from .sparql.engine import (
     NATIVE_OPTIMIZED,
     SparqlEngine,
 )
+from .sparql.errors import SparqlError, error_payload
 from .sparql.serializers import FORMATS as RESULT_FORMATS
 from .store import IndexedStore, load_snapshot
 
@@ -204,6 +219,24 @@ def cache_main(argv=None):
 TABLE_PREVIEW_ROWS = 20
 
 
+def _build_engine(document, engine_name):
+    """Load a document (N-Triples or ``.sp2b`` snapshot) into an engine."""
+    config = next(c for c in CLI_ENGINE_CONFIGS if c.name == engine_name)
+    if document.endswith(SNAPSHOT_SUFFIX):
+        # The fast path: rebuild the store from its snapshot — no parsing,
+        # no per-triple loading.
+        return SparqlEngine.from_store(load_snapshot(document), config)
+    engine = SparqlEngine(config)
+    load_into(engine.store, document)
+    return engine
+
+
+def _print_error_payload(error):
+    """Print the machine-readable error payload (shared with the server)."""
+    json.dump(error_payload(error), sys.stderr)
+    sys.stderr.write("\n")
+
+
 def query_main(argv=None):
     """Entry point of ``sp2bench-query``.
 
@@ -211,8 +244,11 @@ def query_main(argv=None):
     prepared once, ``--repeat`` re-runs the prepared plan (reporting per-run
     and amortized times), ``--limit`` is pushed into the cursor so bounded
     queries stop evaluating early, and ``--format`` selects the table
-    rendering or a W3C SPARQL-results serialization (json/csv/tsv) written
-    to stdout (timings then go to stderr, keeping stdout a valid document).
+    rendering or a W3C SPARQL-results serialization (json/xml/csv/tsv)
+    written to stdout (timings then go to stderr, keeping stdout a valid
+    document).  Failures (parse errors, timeouts) print the structured
+    error payload — the same JSON shape the SPARQL Protocol server returns
+    — to stderr, never a traceback.
     """
     parser = argparse.ArgumentParser(description="Run SP2Bench queries on an RDF document.")
     parser.add_argument("document",
@@ -238,14 +274,7 @@ def query_main(argv=None):
                              "and actual per-step cardinalities")
     args = parser.parse_args(argv)
 
-    config = next(c for c in CLI_ENGINE_CONFIGS if c.name == args.engine)
-    if args.document.endswith(SNAPSHOT_SUFFIX):
-        # The fast path: rebuild the store from its snapshot — no parsing,
-        # no per-triple loading.
-        engine = SparqlEngine.from_store(load_snapshot(args.document), config)
-    else:
-        engine = SparqlEngine(config)
-        load_into(engine.store, args.document)
+    engine = _build_engine(args.document, args.engine)
 
     try:
         query_text = get_query(args.query).text
@@ -255,35 +284,42 @@ def query_main(argv=None):
             query_text = handle.read()
         label = args.query
 
-    if args.explain:
-        report = engine.explain(query_text)
-        print(f"{label}:")
-        print(report.render())
-        return 0
+    try:
+        if args.explain:
+            report = engine.explain(query_text)
+            print(f"{label}:")
+            print(report.render())
+            return 0
 
-    repeat = max(args.repeat, 1)
-    prepare_start = time.perf_counter()
-    prepared = engine.prepare(query_text)
-    prepare_time = time.perf_counter() - prepare_start
+        repeat = max(args.repeat, 1)
+        prepare_start = time.perf_counter()
+        prepared = engine.prepare(query_text)
+        prepare_time = time.perf_counter() - prepare_start
 
-    run_times = []
-    for index in range(repeat):
-        final_run = index == repeat - 1
-        start = time.perf_counter()
-        cursor = prepared.run(limit=args.limit)
-        if not final_run:
-            # Warm repetition: drain for timing, print nothing.
-            for _binding in cursor:
-                pass
+        run_times = []
+        for index in range(repeat):
+            final_run = index == repeat - 1
+            start = time.perf_counter()
+            cursor = prepared.run(limit=args.limit)
+            if not final_run:
+                # Warm repetition: drain for timing, print nothing.
+                for _binding in cursor:
+                    pass
+                run_times.append(time.perf_counter() - start)
+                continue
+            if args.format == "table":
+                _print_table(label, cursor, args.limit, start)
+            else:
+                cursor.write(sys.stdout, args.format)
+                if args.format in ("json", "xml"):
+                    sys.stdout.write("\n")
             run_times.append(time.perf_counter() - start)
-            continue
-        if args.format == "table":
-            _print_table(label, cursor, args.limit, start)
-        else:
-            cursor.write(sys.stdout, args.format)
-            if args.format == "json":
-                sys.stdout.write("\n")
-        run_times.append(time.perf_counter() - start)
+    except SparqlError as error:
+        # Parse errors, timeouts, evaluation failures: the structured
+        # payload (shared with the server's HTTP responses), not a
+        # traceback.
+        _print_error_payload(error)
+        return 1
 
     timing_out = sys.stdout if args.format == "table" else sys.stderr
     if repeat > 1:
@@ -322,6 +358,153 @@ def _print_table(label, cursor, limit, start):
     print(f"{label}: {count} results ({elapsed:.3f}s)")
     for row in shown:
         print("  " + "\t".join("-" if value is None else value.n3() for value in row))
+
+
+def serve_main(argv=None):
+    """Entry point of ``repro serve``: the SPARQL Protocol endpoint.
+
+    Loads a document (or, much faster, a ``.sp2b`` snapshot) once into a
+    read-only store and serves ``GET/POST /sparql`` on a thread worker
+    pool until interrupted.  ``/health`` reports readiness.
+    """
+    parser = argparse.ArgumentParser(
+        description="Serve a document over the W3C SPARQL Protocol."
+    )
+    parser.add_argument("document",
+                        help="N-Triples file (or .sp2b store snapshot) to serve")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=8008,
+                        help="port to bind; 0 picks an ephemeral port "
+                             "(default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker threads executing queries (default: 4)")
+    parser.add_argument("--engine", default=NATIVE_COST.name,
+                        choices=[config.name for config in CLI_ENGINE_CONFIGS],
+                        help="engine preset to serve with (default: native-cost)")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="default per-request deadline in seconds; "
+                             "requests may lower it with ?timeout= "
+                             "(default: 30)")
+    parser.add_argument("--max-timeout", type=float, default=None,
+                        help="cap on client-requested timeouts "
+                             "(default: the --timeout value)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-request access logging")
+    args = parser.parse_args(argv)
+
+    from .server import SparqlServer
+
+    start = time.perf_counter()
+    engine = _build_engine(args.document, args.engine)
+    elapsed = time.perf_counter() - start
+    server = SparqlServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        default_timeout=args.timeout,
+        max_timeout=args.max_timeout,
+        verbose=not args.quiet,
+    )
+    print(f"loaded {len(engine.store)} triples in {elapsed:.2f}s "
+          f"({engine.config.name} engine)")
+    print(f"serving SPARQL Protocol at {server.url} "
+          f"({args.workers} workers, {args.timeout:g}s default timeout); "
+          f"health at {server.health_url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
+def _parse_mix(spec, query_ids):
+    """Build the workload mix from ``--mix Q1=4,Q3a=2`` / ``--queries``."""
+    if spec:
+        weights = {}
+        for part in spec.replace(",", " ").split():
+            identifier, _equals, weight = part.partition("=")
+            weights[identifier] = float(weight) if weight else 1.0
+        return WorkloadMix.from_catalog(weights)
+    if query_ids:
+        return WorkloadMix.uniform(query_ids)
+    return WorkloadMix.from_catalog()
+
+
+def loadtest_main(argv=None):
+    """Entry point of ``repro loadtest``: closed-loop multi-client load.
+
+    Replays a weighted mix of catalog queries from N concurrent clients —
+    over HTTP against a running endpoint (``--url``), or in-process against
+    a document/snapshot — and reports sustained QpS with p50/p95/p99
+    latency per query and overall.
+    """
+    parser = argparse.ArgumentParser(
+        description="Run a closed-loop multi-client SPARQL workload."
+    )
+    target = parser.add_mutually_exclusive_group(required=True)
+    target.add_argument("--url",
+                        help="SPARQL Protocol endpoint to load "
+                             "(e.g. http://127.0.0.1:8008/sparql)")
+    target.add_argument("--document",
+                        help="N-Triples file or .sp2b snapshot to load-test "
+                             "in-process (no HTTP)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent closed-loop clients (default: 4)")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="seconds each client issues queries (default: 5)")
+    parser.add_argument("--mix", default=None,
+                        help="weighted mix, e.g. 'Q1=4,Q3a=2,Q2=1' "
+                             "(default: the log-study mix)")
+    parser.add_argument("--queries", nargs="+", default=None,
+                        help="equal-weight mix over these catalog query ids")
+    parser.add_argument("--mode", choices=("thread", "process"), default=None,
+                        help="client concurrency model (default: thread; "
+                             "process scales in-process runs past the GIL)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-query deadline in seconds")
+    parser.add_argument("--engine", default=NATIVE_COST.name,
+                        choices=[config.name for config in CLI_ENGINE_CONFIGS],
+                        help="engine preset for in-process runs")
+    parser.add_argument("--seed", type=int, default=97,
+                        help="base seed of the per-client query streams")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of a table")
+    parser.add_argument("--fail-on-error", action="store_true",
+                        help="exit non-zero when any request is classified "
+                             "as an error (non-2xx and non-timeout)")
+    args = parser.parse_args(argv)
+
+    mix = _parse_mix(args.mix, args.queries)
+    mode = args.mode or "thread"
+    if mode == "process" and not process_mode_available():
+        print("process mode unavailable (no fork); falling back to threads",
+              file=sys.stderr)
+        mode = "thread"
+    if args.url:
+        report = run_http_workload(
+            args.url, mix=mix, clients=args.clients, duration=args.duration,
+            mode=mode, timeout=args.timeout, seed=args.seed,
+        )
+    else:
+        engine = _build_engine(args.document, args.engine)
+        report = run_engine_workload(
+            engine, mix=mix, clients=args.clients, duration=args.duration,
+            mode=mode, timeout=args.timeout, seed=args.seed,
+        )
+
+    if args.json:
+        json.dump(report.as_dict(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(reporting.workload_summary(report))
+        print(reporting.workload_table(report))
+    if args.fail_on_error and report.errors:
+        print(f"loadtest failed: {report.errors} request(s) classified as "
+              f"errors", file=sys.stderr)
+        return 1
+    return 0
 
 
 def bench_main(argv=None):
@@ -366,12 +549,15 @@ def main(argv=None):
         "generate": generate_main,
         "build": build_main,
         "query": query_main,
+        "serve": serve_main,
+        "loadtest": loadtest_main,
         "bench": bench_main,
         "cache": cache_main,
     }
     argv = list(sys.argv[1:] if argv is None else argv)
     if not argv or argv[0] not in commands:
-        print("usage: repro {generate|build|query|bench|cache} [options]", file=sys.stderr)
+        print("usage: repro {generate|build|query|serve|loadtest|bench|cache} "
+              "[options]", file=sys.stderr)
         return 2
     return commands[argv[0]](argv[1:])
 

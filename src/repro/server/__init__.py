@@ -1,0 +1,37 @@
+"""Serving subsystem: the W3C SPARQL Protocol over HTTP.
+
+``GET/POST /sparql`` with content negotiation onto the four W3C result
+formats, per-request deadlines, structured error payloads, and a bounded
+thread worker pool over one shared read-only engine.  See DESIGN.md
+("The serving subsystem") for the threading model.
+"""
+
+from .http import (
+    HEALTH_PATH,
+    SparqlRequestHandler,
+    SparqlServer,
+    ThreadPoolHTTPServer,
+)
+from .protocol import (
+    ENDPOINT_PATH,
+    FORM_TYPE,
+    MEDIA_TYPE_FORMATS,
+    SPARQL_QUERY_TYPE,
+    ProtocolError,
+    negotiate,
+    parse_query_request,
+)
+
+__all__ = [
+    "SparqlServer",
+    "SparqlRequestHandler",
+    "ThreadPoolHTTPServer",
+    "ProtocolError",
+    "negotiate",
+    "parse_query_request",
+    "ENDPOINT_PATH",
+    "HEALTH_PATH",
+    "SPARQL_QUERY_TYPE",
+    "FORM_TYPE",
+    "MEDIA_TYPE_FORMATS",
+]

@@ -1,0 +1,283 @@
+"""The SPARQL Protocol HTTP server: a thread worker pool over one engine.
+
+Threading model (see DESIGN.md "The serving subsystem"):
+
+* One :class:`~repro.sparql.engine.SparqlEngine` over one read-only store is
+  shared by every worker.  Queries never mutate stores, term decoding and
+  statistics are read-only at query time, and the engine's prepared-
+  statement cache is lock-protected — so sharing needs no further
+  synchronization.
+* Accepted connections are dispatched to a bounded
+  :class:`~concurrent.futures.ThreadPoolExecutor` (a true worker pool, not
+  thread-per-request: a flood of connections queues instead of spawning
+  unbounded threads).
+* Each request gets a fresh evaluator and a per-request
+  :class:`~repro.sparql.cursor.Deadline`; an expired deadline surfaces as
+  HTTP 503 with a machine-readable ``timeout`` payload and ``Retry-After``.
+
+Responses are buffered (serialized fully, then sent with Content-Length):
+this keeps HTTP/1.1 keep-alive simple and — more importantly — means a
+deadline that expires *mid-serialization* still turns into a clean 503
+instead of a truncated 200 body.  The cursors stay streaming underneath, so
+``LIMIT``-bounded queries never evaluate past their window.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from urllib.parse import urlsplit
+
+from ..sparql.cursor import Deadline
+from ..sparql.errors import (
+    ERROR_INTERNAL,
+    QueryTimeout,
+    SparqlError,
+    error_payload,
+)
+from ..sparql.serializers import CONTENT_TYPES
+from .protocol import ENDPOINT_PATH, ProtocolError, negotiate, parse_query_request
+
+#: JSON media type of error payloads and the health endpoint.
+JSON_TYPE = "application/json"
+
+#: Readiness/liveness endpoint (used by the CI smoke job to await startup).
+HEALTH_PATH = "/health"
+
+
+class ThreadPoolHTTPServer(HTTPServer):
+    """An HTTPServer whose requests run on a bounded worker pool.
+
+    ``socketserver.ThreadingMixIn`` spawns one thread per connection; under
+    heavy traffic that is unbounded.  This server instead submits each
+    accepted connection to a fixed-size executor — the serving concurrency
+    is exactly ``workers``, and excess connections wait in the executor
+    queue (closed-loop clients then see queueing delay, not errors).
+    """
+
+    # Restartable listeners: rebinding the same port right after a stop
+    # must not fail with EADDRINUSE.
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, server_address, handler_class, workers=4):
+        super().__init__(server_address, handler_class)
+        self.workers = workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="sparql-worker"
+        )
+
+    def process_request(self, request, client_address):
+        self._executor.submit(self._handle_one, request, client_address)
+
+    def _handle_one(self, request, client_address):
+        try:
+            self.finish_request(request, client_address)
+        except Exception:  # noqa: BLE001 - mirror socketserver's error path
+            self.handle_error(request, client_address)
+        finally:
+            self.shutdown_request(request)
+
+    def server_close(self):
+        super().server_close()
+        self._executor.shutdown(wait=False)
+
+
+class SparqlRequestHandler(BaseHTTPRequestHandler):
+    """Speaks the SPARQL Protocol for the engine attached to the server."""
+
+    server_version = "SP2BenchSparql/0.4"
+    protocol_version = "HTTP/1.1"
+    # Headers and body leave in separate small writes; without TCP_NODELAY,
+    # Nagle + the client's delayed ACK turns every response into a ~40ms
+    # round trip.  Serving latency is the product here — disable Nagle.
+    disable_nagle_algorithm = True
+
+    # -- HTTP entry points -------------------------------------------------
+
+    def do_GET(self):
+        path = urlsplit(self.path).path
+        if path == HEALTH_PATH:
+            self._send_health()
+            return
+        if path != ENDPOINT_PATH:
+            self._send_json(
+                404, {"error": {"code": "not_found",
+                                "message": f"no resource at {path!r} "
+                                           f"(the endpoint is {ENDPOINT_PATH})"}}
+            )
+            return
+        self._handle_query("GET", body=None)
+
+    def do_POST(self):
+        path = urlsplit(self.path).path
+        if path != ENDPOINT_PATH:
+            self._send_json(
+                404, {"error": {"code": "not_found",
+                                "message": f"no resource at {path!r} "
+                                           f"(the endpoint is {ENDPOINT_PATH})"}}
+            )
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length).decode("utf-8", errors="replace")
+        self._handle_query("POST", body=body)
+
+    # -- the protocol pipeline ---------------------------------------------
+
+    def _handle_query(self, method, body):
+        server = self.server
+        try:
+            query_text, timeout = parse_query_request(
+                method,
+                self.path,
+                content_type=self.headers.get("Content-Type"),
+                body=body,
+                max_timeout=server.max_timeout,
+            )
+            format = negotiate(self.headers.get("Accept"))
+        except ProtocolError as error:
+            self._send_json(error.status, error.payload())
+            return
+        if timeout is None:
+            timeout = server.default_timeout
+        try:
+            prepared = server.engine.prepare_cached(query_text)
+        except SparqlError as error:
+            # Covers SparqlSyntaxError (code "parse_error") and any other
+            # front-end failure; the payload carries the classification.
+            self._send_json(400, error_payload(error))
+            return
+        buffer = io.StringIO()
+        try:
+            deadline = None if timeout is None else Deadline(timeout)
+            with prepared.run(deadline=deadline) as cursor:
+                cursor.write(buffer, format)
+        except QueryTimeout as error:
+            self._send_json(503, error_payload(error),
+                            extra_headers={"Retry-After": "1"})
+            return
+        except SparqlError as error:
+            self._send_json(400, error_payload(error))
+            return
+        except Exception as error:  # noqa: BLE001 - never leak a traceback
+            self._send_json(
+                500, error_payload(error, code=ERROR_INTERNAL)
+            )
+            return
+        self._send_body(200, buffer.getvalue(), CONTENT_TYPES[format])
+
+    # -- response plumbing -------------------------------------------------
+
+    def _send_health(self):
+        server = self.server
+        self._send_json(200, {
+            "status": "ok",
+            "engine": server.engine.config.name,
+            "triples": len(server.engine.store),
+            "workers": server.workers,
+        })
+
+    def _send_json(self, status, payload, extra_headers=None):
+        self._send_body(status, json.dumps(payload), JSON_TYPE,
+                        extra_headers=extra_headers)
+
+    def _send_body(self, status, text, content_type, extra_headers=None):
+        encoded = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+
+class SparqlServer:
+    """Lifecycle wrapper: engine + listener + background serve loop.
+
+    ``port=0`` binds an ephemeral port (the resolved one is in ``.port`` /
+    ``.url`` after construction), which is what tests and in-process demos
+    use.  ``default_timeout`` applies to requests that carry no ``timeout=``
+    parameter; ``max_timeout`` caps client-requested budgets.  The server is
+    a context manager: entering starts the background serve thread, leaving
+    stops it and closes the listener.
+    """
+
+    def __init__(self, engine, host="127.0.0.1", port=0, workers=4,
+                 default_timeout=30.0, max_timeout=None, verbose=False):
+        self.engine = engine
+        self._httpd = ThreadPoolHTTPServer(
+            (host, port), SparqlRequestHandler, workers=workers
+        )
+        # The handler reaches its collaborators through the server object.
+        self._httpd.engine = engine
+        self._httpd.default_timeout = default_timeout
+        self._httpd.max_timeout = (
+            default_timeout if max_timeout is None else max_timeout
+        )
+        self._httpd.verbose = verbose
+        self._thread = None
+
+    @property
+    def host(self):
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self):
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self):
+        """The query endpoint URL."""
+        return f"http://{self.host}:{self.port}{ENDPOINT_PATH}"
+
+    @property
+    def health_url(self):
+        return f"http://{self.host}:{self.port}{HEALTH_PATH}"
+
+    def start(self):
+        """Serve on a background thread; returns immediately."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="sparql-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        """Stop serving and close the listener (idempotent)."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def serve_forever(self):
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        finally:
+            self._httpd.server_close()
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *_exc):
+        self.stop()
+        return False
+
+    def __repr__(self):
+        return (f"SparqlServer(url={self.url!r}, "
+                f"engine={self.engine.config.name!r}, "
+                f"workers={self._httpd.workers})")

@@ -22,7 +22,10 @@ from .errors import (
     QueryTimeout,
     SparqlError,
     SparqlSyntaxError,
+    error_code,
+    error_payload,
 )
+from .serializers import CONTENT_TYPES as RESULT_CONTENT_TYPES
 from .serializers import FORMATS as RESULT_FORMATS
 from .evaluator import NESTED_LOOP, SCAN_HASH, Evaluator
 from .idspace import IdSpaceEvaluation, SlotBinding, SlotLayout
@@ -67,6 +70,7 @@ __all__ = [
     "ResultCursor",
     "Deadline",
     "RESULT_FORMATS",
+    "RESULT_CONTENT_TYPES",
     "SparqlEngine",
     "EngineConfig",
     "PreparedQuery",
@@ -93,4 +97,6 @@ __all__ = [
     "EvaluationError",
     "ExpressionError",
     "QueryTimeout",
+    "error_code",
+    "error_payload",
 ]

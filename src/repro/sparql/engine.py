@@ -14,6 +14,7 @@ harness runs all of them and the ablation benches flip individual flags.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from itertools import islice
@@ -135,8 +136,11 @@ class SparqlEngine:
         # create_store(); the caller vouches that it matches the profile.
         self.store = store if store is not None else self.config.create_store()
         # Statement cache for prepare_cached(): lives exactly as long as the
-        # engine, so cached plans never outlive (or pin) their store.
+        # engine, so cached plans never outlive (or pin) their store.  The
+        # lock serializes lookup/insert/eviction — the cache is hit from
+        # every worker thread of the SPARQL Protocol server.
         self._prepared_cache = {}
+        self._prepared_lock = threading.Lock()
 
     # -- loading -----------------------------------------------------------
 
@@ -221,16 +225,31 @@ class SparqlEngine:
         ad-hoc texts with inlined constants cannot grow it without limit —
         parameterized templates should pass constants via
         ``run(bindings=...)`` instead.
+
+        Thread-safe: lookup, insertion, and eviction happen under the
+        engine's statement-cache lock, so N server worker threads can share
+        one engine.  A miss prepares *outside* the lock (parse+plan of a new
+        template never blocks other threads' cache hits); when two threads
+        race on the same uncached text, the first insertion wins and both
+        get the same :class:`PreparedQuery`.
         """
         cache = self._prepared_cache
-        prepared = cache.pop(query_text, None)
-        if prepared is None:
-            prepared = self.prepare(query_text)
-            while len(cache) >= self.PREPARED_CACHE_SIZE:
-                cache.pop(next(iter(cache)))
-        # Re-insertion moves the entry to the back of the eviction order.
-        cache[query_text] = prepared
-        return prepared
+        with self._prepared_lock:
+            prepared = cache.pop(query_text, None)
+            if prepared is not None:
+                # Re-insertion moves the entry to the back of the eviction
+                # order.
+                cache[query_text] = prepared
+                return prepared
+        candidate = self.prepare(query_text)
+        with self._prepared_lock:
+            prepared = cache.pop(query_text, None)
+            if prepared is None:
+                prepared = candidate
+                while len(cache) >= self.PREPARED_CACHE_SIZE:
+                    cache.pop(next(iter(cache)))
+            cache[query_text] = prepared
+            return prepared
 
     def stream(self, query_text, **run_options):
         """One-shot streaming execution: ``prepare(text).run(**options)``.

@@ -1,4 +1,25 @@
-"""Error hierarchy for the SPARQL query processor."""
+"""Error hierarchy for the SPARQL query processor.
+
+Besides the exception classes, this module defines the *machine-readable
+error payload* shared by every user-facing failure surface: the SPARQL
+Protocol server serializes it as the JSON body of 400/503 responses, and
+``repro query`` prints it to stderr instead of a traceback.  The payload
+shape is stable::
+
+    {"error": {"code": "<code>", "message": "<human text>", ...extras}}
+
+where ``code`` is one of the ``ERROR_*`` constants below and extras carry
+structured detail (parse offset, timeout budget) when known.
+"""
+
+from __future__ import annotations
+
+#: Stable machine-readable error codes used in payloads and HTTP bodies.
+ERROR_PARSE = "parse_error"
+ERROR_TIMEOUT = "timeout"
+ERROR_EVALUATION = "evaluation_error"
+ERROR_BAD_REQUEST = "bad_request"
+ERROR_INTERNAL = "internal_error"
 
 
 class SparqlError(Exception):
@@ -42,3 +63,35 @@ class ExpressionError(SparqlError):
     condition evaluate to false for that solution; the evaluator catches this
     exception to implement that behaviour.
     """
+
+
+def error_code(error):
+    """The stable machine-readable code for an exception."""
+    if isinstance(error, SparqlSyntaxError):
+        return ERROR_PARSE
+    if isinstance(error, QueryTimeout):
+        return ERROR_TIMEOUT
+    if isinstance(error, SparqlError):
+        return ERROR_EVALUATION
+    return ERROR_INTERNAL
+
+
+def error_payload(error, code=None):
+    """The structured payload describing an exception.
+
+    ``code`` overrides the classification of :func:`error_code` (the server
+    uses this for protocol-level failures that never reach the parser).
+    Extras are attached when the exception carries structured detail:
+    ``position`` for syntax errors, ``budget_seconds`` for timeouts.
+    """
+    body = {
+        "code": code or error_code(error),
+        "message": str(error) or type(error).__name__,
+    }
+    position = getattr(error, "position", None)
+    if position is not None:
+        body["position"] = position
+    budget = getattr(error, "budget", None)
+    if budget is not None:
+        body["budget_seconds"] = budget
+    return {"error": body}

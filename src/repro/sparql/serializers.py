@@ -1,4 +1,4 @@
-"""W3C SPARQL-results serializers: JSON, CSV, and TSV.
+"""W3C SPARQL-results serializers: JSON, XML, CSV, and TSV.
 
 Implements the result exchange formats a serving frontend speaks:
 
@@ -6,6 +6,11 @@ Implements the result exchange formats a serving frontend speaks:
   sparql-results+json``): a ``head.vars`` list plus one term object per
   binding (``{"type": "uri"|"literal"|"bnode", "value": ...}`` with optional
   ``datatype`` / ``xml:lang``); ASK answers become ``{"boolean": ...}``.
+* ``xml`` — SPARQL Query Results XML Format (``application/
+  sparql-results+xml``): ``<sparql>`` with a ``<head>`` of variables and a
+  ``<results>`` of ``<result>``/``<binding>`` elements (``<uri>``,
+  ``<bnode>``, ``<literal>`` with ``xml:lang`` / ``datatype``); ASK answers
+  become a ``<boolean>`` element.
 * ``csv`` — SPARQL 1.1 Query Results CSV: bare variable names in the header,
   plain lexical values (IRIs unbracketed, blank nodes as ``_:label``),
   RFC 4180 quoting and CRLF line endings.
@@ -25,12 +30,25 @@ from __future__ import annotations
 import csv
 import io
 import json
+from xml.sax.saxutils import escape, quoteattr
 
 from ..rdf.terms import BNode, Literal, URIRef
 from .bindings import variable_name
 
 #: Formats understood by :func:`serialize` / :func:`write` (and the CLI).
-FORMATS = ("json", "csv", "tsv")
+FORMATS = ("json", "xml", "csv", "tsv")
+
+#: Canonical media type of each format — what the SPARQL Protocol server
+#: sends as Content-Type (keys are the :data:`FORMATS` entries).
+CONTENT_TYPES = {
+    "json": "application/sparql-results+json",
+    "xml": "application/sparql-results+xml",
+    "csv": "text/csv; charset=utf-8",
+    "tsv": "text/tab-separated-values; charset=utf-8",
+}
+
+#: XML namespace of the SPARQL Query Results XML Format.
+SPARQL_RESULTS_NS = "http://www.w3.org/2005/sparql-results#"
 
 
 def term_json(term):
@@ -89,6 +107,53 @@ def write_json(fp, variables, bindings):
     return count
 
 
+def term_xml(name, term):
+    """The ``<binding>`` element for one bound term."""
+    if isinstance(term, URIRef):
+        inner = f"<uri>{escape(term.value)}</uri>"
+    elif isinstance(term, BNode):
+        inner = f"<bnode>{escape(term.label)}</bnode>"
+    elif isinstance(term, Literal):
+        if term.language is not None:
+            inner = (f"<literal xml:lang={quoteattr(term.language)}>"
+                     f"{escape(term.lexical)}</literal>")
+        elif term.datatype is not None:
+            inner = (f"<literal datatype={quoteattr(term.datatype)}>"
+                     f"{escape(term.lexical)}</literal>")
+        else:
+            inner = f"<literal>{escape(term.lexical)}</literal>"
+    else:
+        raise TypeError(f"cannot serialize term {term!r}")
+    return f"<binding name={quoteattr(name)}>{inner}</binding>"
+
+
+def _write_xml_prologue(fp, variables):
+    fp.write('<?xml version="1.0"?>\n')
+    fp.write(f'<sparql xmlns="{SPARQL_RESULTS_NS}">')
+    fp.write("<head>")
+    for name in variables:
+        fp.write(f"<variable name={quoteattr(name)}/>")
+    fp.write("</head>")
+
+
+def write_xml(fp, variables, bindings):
+    """Stream a SELECT solution sequence as SPARQL-results XML."""
+    names = [variable_name(v) for v in variables]
+    _write_xml_prologue(fp, names)
+    fp.write("<results>")
+    count = 0
+    for binding in bindings:
+        fp.write("<result>")
+        for name in names:
+            term = binding.get(name)
+            if term is not None:
+                fp.write(term_xml(name, term))
+        fp.write("</result>")
+        count += 1
+    fp.write("</results></sparql>")
+    return count
+
+
 def write_csv(fp, variables, bindings):
     """Stream a SELECT solution sequence as SPARQL-results CSV."""
     names = [variable_name(v) for v in variables]
@@ -117,6 +182,12 @@ def write_ask_json(fp, value):
     return 1
 
 
+def write_ask_xml(fp, value):
+    _write_xml_prologue(fp, ())
+    fp.write(f"<boolean>{'true' if value else 'false'}</boolean></sparql>")
+    return 1
+
+
 def write_ask_csv(fp, value):
     fp.write("true\r\n" if value else "false\r\n")
     return 1
@@ -127,8 +198,13 @@ def write_ask_tsv(fp, value):
     return 1
 
 
-_SELECT_WRITERS = {"json": write_json, "csv": write_csv, "tsv": write_tsv}
-_ASK_WRITERS = {"json": write_ask_json, "csv": write_ask_csv, "tsv": write_ask_tsv}
+_SELECT_WRITERS = {
+    "json": write_json, "xml": write_xml, "csv": write_csv, "tsv": write_tsv,
+}
+_ASK_WRITERS = {
+    "json": write_ask_json, "xml": write_ask_xml,
+    "csv": write_ask_csv, "tsv": write_ask_tsv,
+}
 
 
 def write(fp, variables, result, format="json"):

@@ -1,0 +1,207 @@
+"""SPARQL Protocol conformance tests against a live server.
+
+One server (ephemeral port, small generated document) serves the whole
+module; the tests exercise both query transport forms, all four result
+content types, the structured 400/503/404/406/415 failure responses, and
+concurrent clients sharing the worker pool.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.parse
+import urllib.request
+from xml.etree import ElementTree
+
+import pytest
+
+from repro import SparqlEngine, SparqlServer, generate_graph, get_query
+
+SELECT_QUERY = get_query("Q1").text       # one row: the year literal "1940"
+ASK_QUERY = get_query("Q12a").text        # ASK with a non-empty pattern
+
+RESULTS_NS = "{http://www.w3.org/2005/sparql-results#}"
+
+
+@pytest.fixture(scope="module")
+def server():
+    engine = SparqlEngine.from_graph(generate_graph(triple_limit=1_000))
+    with SparqlServer(engine, port=0, workers=4, default_timeout=10.0) as live:
+        yield live
+
+
+def fetch(url, data=None, headers=None, method=None):
+    """One request; returns (status, content type, decoded body)."""
+    request = urllib.request.Request(
+        url, data=data, headers=headers or {}, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, response.headers["Content-Type"], \
+                response.read().decode("utf-8")
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers["Content-Type"], \
+            error.read().decode("utf-8")
+
+
+def query_url(server, text, **extra):
+    parameters = {"query": text, **extra}
+    return f"{server.url}?{urllib.parse.urlencode(parameters)}"
+
+
+class TestQueryForms:
+    def test_get_with_query_parameter(self, server):
+        status, content_type, body = fetch(query_url(server, SELECT_QUERY))
+        assert status == 200
+        assert content_type == "application/sparql-results+json"
+        document = json.loads(body)
+        assert document["head"]["vars"] == ["yr"]
+        values = [b["yr"]["value"] for b in document["results"]["bindings"]]
+        assert values == ["1940"]
+
+    def test_post_direct_sparql_query_body(self, server):
+        status, _type, body = fetch(
+            server.url,
+            data=SELECT_QUERY.encode("utf-8"),
+            headers={"Content-Type": "application/sparql-query"},
+        )
+        assert status == 200
+        assert json.loads(body)["head"]["vars"] == ["yr"]
+
+    def test_post_form_encoded_body(self, server):
+        encoded = urllib.parse.urlencode({"query": SELECT_QUERY}).encode("ascii")
+        status, _type, body = fetch(
+            server.url,
+            data=encoded,
+            headers={"Content-Type": "application/x-www-form-urlencoded"},
+        )
+        assert status == 200
+        assert json.loads(body)["head"]["vars"] == ["yr"]
+
+    def test_get_and_post_agree(self, server):
+        _s1, _t1, get_body = fetch(query_url(server, SELECT_QUERY))
+        _s2, _t2, post_body = fetch(
+            server.url,
+            data=SELECT_QUERY.encode("utf-8"),
+            headers={"Content-Type": "application/sparql-query"},
+        )
+        assert get_body == post_body
+
+    def test_ask_form(self, server):
+        status, _type, body = fetch(query_url(server, ASK_QUERY))
+        assert status == 200
+        assert isinstance(json.loads(body)["boolean"], bool)
+
+
+class TestContentNegotiation:
+    @pytest.mark.parametrize("accept, expected_type", [
+        ("application/sparql-results+json", "application/sparql-results+json"),
+        ("application/sparql-results+xml", "application/sparql-results+xml"),
+        ("text/csv", "text/csv; charset=utf-8"),
+        ("text/tab-separated-values", "text/tab-separated-values; charset=utf-8"),
+    ])
+    def test_all_four_result_formats(self, server, accept, expected_type):
+        status, content_type, body = fetch(
+            query_url(server, SELECT_QUERY), headers={"Accept": accept}
+        )
+        assert status == 200
+        assert content_type == expected_type
+        assert body  # every format carries a non-empty document
+
+    def test_xml_body_is_well_formed_sparql_results(self, server):
+        _status, _type, body = fetch(
+            query_url(server, SELECT_QUERY),
+            headers={"Accept": "application/sparql-results+xml"},
+        )
+        root = ElementTree.fromstring(body)
+        assert root.tag == f"{RESULTS_NS}sparql"
+        literal = root.find(f".//{RESULTS_NS}literal")
+        assert literal.text == "1940"
+
+    def test_csv_body_has_header_and_row(self, server):
+        _status, _type, body = fetch(
+            query_url(server, SELECT_QUERY), headers={"Accept": "text/csv"}
+        )
+        lines = body.split("\r\n")
+        assert lines[0] == "yr"
+        assert lines[1] == "1940"
+
+    def test_unsupported_accept_is_406(self, server):
+        status, _type, body = fetch(
+            query_url(server, SELECT_QUERY), headers={"Accept": "text/html"}
+        )
+        assert status == 406
+        assert json.loads(body)["error"]["code"] == "bad_request"
+
+
+class TestFailureResponses:
+    def test_malformed_query_is_400_with_parse_payload(self, server):
+        status, content_type, body = fetch(
+            query_url(server, "SELECT WHERE broken {")
+        )
+        assert status == 400
+        assert content_type == "application/json"
+        payload = json.loads(body)
+        assert payload["error"]["code"] == "parse_error"
+        assert payload["error"]["message"]
+
+    def test_missing_query_parameter_is_400(self, server):
+        status, _type, body = fetch(server.url)
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "bad_request"
+
+    def test_expired_deadline_is_503_with_timeout_payload(self, server):
+        status, _type, body = fetch(query_url(server, SELECT_QUERY, timeout=0))
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["error"]["code"] == "timeout"
+        assert payload["error"]["budget_seconds"] == 0.0
+
+    def test_unknown_path_is_404(self, server):
+        root = server.url.rsplit("/sparql", 1)[0]
+        status, _type, body = fetch(f"{root}/nope")
+        assert status == 404
+        assert json.loads(body)["error"]["code"] == "not_found"
+
+    def test_unsupported_post_content_type_is_415(self, server):
+        status, _type, body = fetch(
+            server.url,
+            data=b"<rdf/>",
+            headers={"Content-Type": "text/turtle"},
+        )
+        assert status == 415
+        assert json.loads(body)["error"]["code"] == "bad_request"
+
+
+class TestHealthAndConcurrency:
+    def test_health_reports_engine_and_size(self, server):
+        status, _type, body = fetch(server.health_url)
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["triples"] == len(server.engine.store)
+        assert payload["workers"] == 4
+
+    def test_concurrent_clients_get_identical_answers(self, server):
+        url = query_url(server, SELECT_QUERY)
+        results = [None] * 8
+        errors = []
+
+        def hit(index):
+            try:
+                results[index] = fetch(url)
+            except Exception as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hit, args=(index,)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        statuses = {status for status, _type, _body in results}
+        bodies = {body for _status, _type, body in results}
+        assert statuses == {200}
+        assert len(bodies) == 1

@@ -1,6 +1,7 @@
 """Unit tests for streaming result cursors, deadlines, and serializers."""
 
 import json
+from xml.etree import ElementTree
 
 import pytest
 
@@ -196,7 +197,48 @@ class TestCsvTsvSerialization:
 
     def test_unknown_format_rejected(self):
         with pytest.raises(ValueError):
-            make_cursor().serialize("xml")
+            make_cursor().serialize("yaml")
+
+
+class TestXmlSerialization:
+    NS = "{http://www.w3.org/2005/sparql-results#}"
+
+    def test_select_document_shape(self):
+        root = ElementTree.fromstring(make_cursor().serialize("xml"))
+        assert root.tag == f"{self.NS}sparql"
+        head = root.find(f"{self.NS}head")
+        assert [v.get("name") for v in head] == ["s", "name"]
+        results = root.find(f"{self.NS}results").findall(f"{self.NS}result")
+        assert len(results) == 3
+        first = {b.get("name"): b[0] for b in results[0]}
+        assert first["s"].tag == f"{self.NS}uri"
+        assert first["s"].text == "http://x/a"
+        assert first["name"].tag == f"{self.NS}literal"
+        assert first["name"].text == "Alice"
+        assert first["name"].get("datatype") == XSD_STRING
+        second = {b.get("name"): b[0] for b in results[1]}
+        assert second["s"].tag == f"{self.NS}bnode"
+        assert second["s"].text == "b0"
+        lang = "{http://www.w3.org/XML/1998/namespace}lang"
+        assert second["name"].get(lang) == "en"
+        # Unbound variables are omitted, not emitted empty.
+        assert [b.get("name") for b in results[2]] == ["s"]
+
+    def test_ask_document_shape(self):
+        root = ElementTree.fromstring(AskCursor(True).serialize("xml"))
+        assert root.find(f"{self.NS}boolean").text == "true"
+        root = ElementTree.fromstring(AskResult(False).serialize("xml"))
+        assert root.find(f"{self.NS}boolean").text == "false"
+
+    def test_special_characters_escaped(self):
+        cursor = SelectCursor(
+            [Variable("v")],
+            iter([Binding({"v": Literal('a<b>&"c"', language="en-GB")})]),
+        )
+        document = cursor.serialize("xml")
+        root = ElementTree.fromstring(document)  # well-formed despite <>&"
+        literal = root.find(f".//{self.NS}literal")
+        assert literal.text == 'a<b>&"c"'
 
 
 class TestEagerStreamingParity:
