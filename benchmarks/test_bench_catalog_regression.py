@@ -21,9 +21,26 @@ def catalog_engine(medium_graph):
     return SparqlEngine.from_graph(medium_graph, NATIVE_COST)
 
 
+def _plan_is_vectorized(tree):
+    """True when any BGP step in the plan tree carries a batch kernel."""
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        steps = getattr(getattr(node, "plan", None), "steps", None)
+        if steps and any(step.kernel for step in steps):
+            return True
+        stack.extend(node.children())
+    return False
+
+
 @pytest.mark.parametrize("query_id", [query.identifier for query in ALL_QUERIES])
 def test_catalog_query(benchmark, catalog_engine, query_id):
     query_text = get_query(query_id).text
+    # Recorded into the results JSON so tools/compare_benchmarks.py can mark
+    # which queries ran through the batch kernels in the PR step summary.
+    benchmark.extra_info["vectorized"] = _plan_is_vectorized(
+        catalog_engine.prepare(query_text).tree
+    )
     # One warm-up evaluation, then three timed rounds: enough signal for the
     # shape-based regression comparison without dominating suite runtime
     # (sub-noise-floor queries are additionally exempted by the gate's

@@ -1,0 +1,112 @@
+"""Acceptance bench — batch kernels versus the tuple path, same planner.
+
+The vectorized executor is a pure physical-layer change below the cost
+planner: both engines here share one :class:`~repro.store.IndexedStore` and
+one plan shape, and differ only in ``EngineConfig.vectorize``.  The bench
+runs the Q1/Q2/Q4/Q6 mix the issue pins down — point lookup (runs tuple
+path on both engines below the planner's cost gate, so its ratio is ~1x by
+construction), wide OPTIONAL scan, join-heavy DISTINCT chain, closed-world
+negation — through prepared queries (parse/plan once), a warm-up run, and
+min-of-rounds timing, and asserts a >= 2x *geometric-mean* speedup at the
+acceptance size of 25k triples.
+
+``SP2B_VECTORIZED_TRIPLES`` scales the document down for smoke runs (CI
+uses 1000); the geomean assertion only applies at the full size, where the
+per-query fixed overheads are amortized.  Every timed pair also asserts
+multiset-equal results — the kernels must never buy speed with wrong rows.
+"""
+
+import math
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.generator import DblpGenerator, GeneratorConfig
+from repro.queries import get_query
+from repro.sparql import NATIVE_COST, SparqlEngine
+
+#: Document size for the comparison; override for CI smoke runs.
+VECTORIZED_BENCH_TRIPLES = int(
+    os.environ.get("SP2B_VECTORIZED_TRIPLES", "25000")
+)
+
+#: The acceptance mix from the issue, with per-query timing rounds: the
+#: sub-millisecond queries need more rounds for a stable minimum.
+MIX = (("Q1", 25), ("Q2", 9), ("Q4", 5), ("Q6", 7))
+
+
+@pytest.fixture(scope="module")
+def kernel_engines():
+    """(vectorized, tuple-path) engines over one shared indexed store."""
+    graph = DblpGenerator(
+        GeneratorConfig(triple_limit=VECTORIZED_BENCH_TRIPLES, seed=823645187)
+    ).graph()
+    batch = SparqlEngine.from_graph(graph, NATIVE_COST)
+    tuple_path = SparqlEngine(
+        replace(NATIVE_COST, name="native-cost-tuple", vectorize=False)
+    )
+    tuple_path.store = batch.store
+    return batch, tuple_path
+
+
+def _min_round(prepared, rounds):
+    """Minimum wall time over ``rounds`` full drains of the prepared plan."""
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        list(prepared.run())
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_vectorized_speedup_on_query_mix(benchmark, kernel_engines):
+    """Batch kernels at least double the Q1/Q2/Q4/Q6 geomean at 25k."""
+    batch, tuple_path = kernel_engines
+    benchmark.pedantic(
+        lambda: batch.query(get_query("Q2").text), rounds=1, iterations=1
+    )
+    print(
+        f"\nVectorized vs tuple-path execution, IndexedStore, "
+        f"{VECTORIZED_BENCH_TRIPLES} triples (min-of-rounds seconds)"
+    )
+    ratios = []
+    for query_id, rounds in MIX:
+        text = get_query(query_id).text
+        prepared_batch = batch.prepare(text)
+        prepared_tuple = tuple_path.prepare(text)
+        # The physical path must never change the result.
+        assert (
+            prepared_batch.run().all().as_multiset()
+            == prepared_tuple.run().all().as_multiset()
+        )
+        batch_time = _min_round(prepared_batch, rounds)
+        tuple_time = _min_round(prepared_tuple, rounds)
+        ratio = tuple_time / max(batch_time, 1e-9)
+        ratios.append(ratio)
+        print(
+            f"  {query_id:>3}: tuple={tuple_time:.4f}s batch={batch_time:.4f}s "
+            f"speedup={ratio:.2f}x"
+        )
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    print(f"  mix geomean: {geomean:.2f}x")
+    if VECTORIZED_BENCH_TRIPLES >= 25_000:
+        # Acceptance bar from the issue: >= 2x geometric-mean speedup.
+        assert geomean >= 2.0
+
+
+def test_vectorized_plans_cover_the_join_heavy_mix(kernel_engines):
+    """The join-heavy mix queries actually plan onto batch kernels.
+
+    Guards the cost gate: if kernel annotation silently stopped firing the
+    speedup test would compare the tuple path against itself and the >= 2x
+    assertion would fail with a confusing ~1.0x, so this states the real
+    invariant directly.
+    """
+    batch, _tuple_path = kernel_engines
+    for query_id, vectorized in (("Q2", True), ("Q4", True), ("Q1", False)):
+        report = str(batch.explain(get_query(query_id).text))
+        assert ("vectorized=yes" in report) == vectorized, query_id

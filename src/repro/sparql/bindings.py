@@ -25,6 +25,20 @@ class Binding:
         object.__setattr__(self, "_map", normalized)
         object.__setattr__(self, "_hash", None)
 
+    @classmethod
+    def from_names(cls, mapping):
+        """Construct from an already-normalized ``{name: term}`` dict.
+
+        The result-boundary fast path: the id-space evaluator produces rows
+        keyed by bare layout names, so re-normalizing every key (and copying
+        the dict) per result row is pure overhead.  The caller transfers
+        ownership of ``mapping``.
+        """
+        binding = cls.__new__(cls)
+        object.__setattr__(binding, "_map", mapping)
+        object.__setattr__(binding, "_hash", None)
+        return binding
+
     def __setattr__(self, name, _value):
         raise AttributeError(f"Binding is immutable (tried to set {name})")
 

@@ -52,6 +52,12 @@ class EngineConfig:
     #: backed physical planner in :mod:`.planner`).  ``None`` derives the
     #: family from ``reorder_patterns`` for backward compatibility.
     planner: Optional[str] = None
+    #: Batch columnar kernels over sorted id runs (None = auto: on whenever
+    #: the cost planner runs on an id-space store with sorted runs).  Forcing
+    #: False keeps the tuple-at-a-time path; kernel annotation never changes
+    #: pattern order or strategies, so both settings produce step-identical
+    #: plans and (by the regression suite) identical result multisets.
+    vectorize: Optional[bool] = None
 
     def resolved_planner(self):
         """The effective planner family for this configuration."""
@@ -60,6 +66,19 @@ class EngineConfig:
                 raise ValueError(f"unknown planner family {self.planner!r}")
             return self.planner
         return PLANNER_GREEDY if self.reorder_patterns else PLANNER_NONE
+
+    def resolved_vectorize(self, store=None):
+        """Whether plans built for ``store`` should carry batch kernels."""
+        if self.vectorize is False:
+            return False
+        if self.resolved_planner() != PLANNER_COST:
+            return False
+        if self.use_id_space is False:
+            return False
+        if store is not None and not getattr(store, "supports_sorted_runs",
+                                             False):
+            return False
+        return True
 
     def create_store(self):
         """Instantiate the storage backend this configuration asks for."""
@@ -198,7 +217,10 @@ class SparqlEngine:
                 push_filters=self.config.push_filters,
             )
         if mode == PLANNER_COST:
-            tree = planner.plan_tree(tree, self.store)
+            tree = planner.plan_tree(
+                tree, self.store,
+                vectorize=self.config.resolved_vectorize(self.store),
+            )
         return query, tree
 
     def prepare(self, query_text):

@@ -32,7 +32,8 @@ from __future__ import annotations
 from itertools import islice
 
 from ..rdf.terms import Literal, Variable, term_sort_key
-from . import algebra, ast
+from ..store.indexed_store import RUN_BY_OBJECT, RUN_BY_SUBJECT
+from . import algebra, ast, kernels
 from .bindings import Binding, _name
 from .errors import EvaluationError
 from .expressions import effective_boolean_value
@@ -41,6 +42,10 @@ from .planner import BIND_JOIN, SCAN
 #: Join strategy names shared with (and re-exported by) the evaluator facade.
 NESTED_LOOP = "nested_loop"
 SCAN_HASH = "scan_hash"
+
+#: Operator mirror for cross-side ordering conjuncts written right-to-left
+#: (``?right < ?left`` applies to (left, right) cells as ``>``).
+_FLIPPED_ORDER = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
 class SlotLayout:
@@ -179,6 +184,8 @@ class IdSpaceEvaluation:
         self._seed_slots = frozenset()
         self._pattern_cache = {}
         self._term_memo = {}
+        self._value_key_memo = {}
+        self._order_key_memo = {}
         self._layout = None
 
     # -- public API ---------------------------------------------------------
@@ -234,8 +241,9 @@ class IdSpaceEvaluation:
         """Decode finished id rows into :class:`Binding` objects."""
         names = layout.names
         cell_term = self.cell_term
+        from_names = Binding.from_names
         for row in rows:
-            yield Binding(
+            yield from_names(
                 {
                     name: cell_term(cell)
                     for name, cell in zip(names, row)
@@ -354,7 +362,19 @@ class IdSpaceEvaluation:
         as bound (SCAN); ``seeds`` carries the left rows of a bind join.
         With observation on, every step counts the rows it produces into
         ``step.actual`` — the EXPLAIN estimated-versus-actual column.
+
+        When the planner annotated every step with a batch kernel (and this
+        evaluation carries no bind-join seeds or prepared pre-bindings,
+        whose per-row starting bindings the block pipeline does not model),
+        the BGP executes column-at-a-time over :class:`~repro.sparql.
+        kernels.Block` streams and only converts back to tuple rows at the
+        BGP boundary.
         """
+        if (seeds is None and not self._seed and plan.steps
+                and all(step.kernel is not None for step in plan.steps)):
+            return kernels.rows_from_blocks(
+                self._bgp_blocks(node, compiled, plan), self._layout.width
+            )
         layout = self._layout
         empty = layout.empty_row()
         check = self._check
@@ -405,6 +425,231 @@ class IdSpaceEvaluation:
 
         return generate()
 
+    # -- batch (block) execution of kernel-annotated plans -------------------
+
+    def _bgp_block_stream(self, node):
+        """The Block stream of a fully kernel-annotated BGP, or None.
+
+        None means the node is not eligible for block execution (not a
+        planned BGP, tuple-path steps, or prepared pre-bindings in play);
+        an eligible BGP whose constants are unknown to the dictionary
+        returns the empty stream.
+        """
+        if not isinstance(node, algebra.BGP) or not node.patterns:
+            return None
+        plan = node.plan
+        if plan is None or not plan.steps or self._seed:
+            return None
+        if any(step.kernel is None for step in plan.steps):
+            return None
+        compiled = self._compile_patterns(node.patterns)
+        if compiled is None:
+            return iter(())
+        return self._bgp_blocks(node, compiled, plan)
+
+    def _bgp_blocks(self, node, compiled, plan):
+        """Execute a fully kernel-annotated BGP as a lazy stream of Blocks.
+
+        Mirrors the tuple pipeline step for step — per-position inline
+        filters, EXPLAIN row counting, deadline checks — but each stage
+        transforms whole blocks of at most ``kernels.BLOCK_ROWS`` rows, so
+        LIMIT pushdown and mid-stream deadline expiry keep working at block
+        granularity.
+        """
+        blocks = iter((kernels.unit_block(),))
+        bound = set(self._seed_slots)
+        for position, cpattern in enumerate(compiled):
+            blocks = self._kernel_step(blocks, cpattern, frozenset(bound))
+            bound.update(ref for is_var, ref in cpattern if is_var)
+            for expression in node.filters_at(position):
+                blocks = self._filter_blocks(blocks, expression)
+            if self._observe:
+                blocks = self._observe_blocks(blocks, plan.steps[position])
+        return blocks
+
+    def _kernel_step(self, blocks, cpattern, bound):
+        """One pattern as a block transformer (the runtime kernel dispatch).
+
+        ``bound`` holds the slots every incoming block binds (a variable is
+        bound in all rows of a block or in none).  The shapes match
+        :func:`~repro.sparql.planner._annotate_kernels`: the predicate is
+        always a constant id, subject/object are constants or distinct
+        variables.  A predicate without triples (no run) or an empty
+        selection short-circuits to the empty stream.
+        """
+        (s_var, s_ref), (_p_var, p_ref), (o_var, o_ref) = cpattern
+        store = self._store
+        check = self._check
+
+        if not s_var and not o_var:
+            # Fully constant pattern: a single existence test gates the
+            # whole stream.
+            for _ids in store.triples_ids(s_ref, p_ref, o_ref):
+                return blocks
+            return iter(())
+
+        if not s_var or not o_var:
+            # One constant endpoint: a single-key selection against the run
+            # keyed on the constant side.
+            if s_var:
+                run = store.sorted_run(p_ref, RUN_BY_OBJECT)
+                key, var_slot = o_ref, s_ref
+            else:
+                run = store.sorted_run(p_ref, RUN_BY_SUBJECT)
+                key, var_slot = s_ref, o_ref
+            if run is None:
+                return iter(())
+            values = kernels.select_eq(run, key)
+            if var_slot in bound:
+                def generate():
+                    for block in blocks:
+                        if check is not None:
+                            check()
+                        if block.length == 0:
+                            continue
+                        mask = kernels.member_mask(block, var_slot, values)
+                        out = kernels.apply_mask(block, mask)
+                        if out.length:
+                            yield out
+                return generate()
+            if len(values) == 0:
+                return iter(())
+
+            def generate():
+                for block in blocks:
+                    if check is not None:
+                        check()
+                    if block.length == 0:
+                        continue
+                    yield from self._cross_chunked(block, {var_slot: values})
+            return generate()
+
+        run = store.sorted_run(p_ref, RUN_BY_SUBJECT)
+        if run is None:
+            return iter(())
+        s_bound = s_ref in bound
+        o_bound = o_ref in bound
+        if s_bound and o_bound:
+            def generate():
+                for block in blocks:
+                    if check is not None:
+                        check()
+                    if block.length == 0:
+                        continue
+                    mask = kernels.semijoin_pair(block, s_ref, o_ref, run)
+                    out = kernels.apply_mask(block, mask)
+                    if out.length:
+                        yield out
+            return generate()
+        if s_bound or o_bound:
+            if s_bound:
+                probe_slot, new_slot, probe_run = s_ref, o_ref, run
+            else:
+                probe_run = store.sorted_run(p_ref, RUN_BY_OBJECT)
+                probe_slot, new_slot = o_ref, s_ref
+
+            def generate():
+                for block in blocks:
+                    if check is not None:
+                        check()
+                    if block.length == 0:
+                        continue
+                    out = kernels.extend_bound(
+                        block, probe_slot, probe_run, new_slot
+                    )
+                    if out.length:
+                        yield out
+            return generate()
+
+        def generate():
+            for block in blocks:
+                if check is not None:
+                    check()
+                if block.length == 0:
+                    continue
+                if not block.columns and block.length == 1:
+                    yield from kernels.run_scan_blocks(run, s_ref, o_ref)
+                    continue
+                # Cartesian against rows that bind other variables: pair
+                # every block row with every run entry, scan-chunk by
+                # scan-chunk.
+                for scan in kernels.run_scan_blocks(run, s_ref, o_ref):
+                    yield kernels.cross_extend(block, scan.columns)
+        return generate()
+
+    @staticmethod
+    def _cross_chunked(block, columns):
+        """Cross-extend in chunks so output blocks stay near BLOCK_ROWS."""
+        total = len(next(iter(columns.values())))
+        if not block.columns and block.length == 1:
+            # Degenerate cross with the unit block: the new columns ARE the
+            # output (the Q1-style first selection), no repeat/tile needed.
+            for start in range(0, total, kernels.BLOCK_ROWS):
+                piece = {
+                    slot: column[start:start + kernels.BLOCK_ROWS]
+                    for slot, column in columns.items()
+                }
+                yield kernels.Block(piece, len(next(iter(piece.values()))))
+            return
+        step = max(1, kernels.BLOCK_ROWS // max(block.length, 1))
+        for start in range(0, total, step):
+            piece = {
+                slot: column[start:start + step]
+                for slot, column in columns.items()
+            }
+            yield kernels.cross_extend(block, piece)
+
+    def _filter_blocks(self, blocks, expression):
+        """Inline-filter a block stream, columnar when the shape compiles.
+
+        Expression shapes :func:`kernels.compile_filter` understands run as
+        whole-column masks; anything else drops to per-row effective-boolean
+        evaluation over the block's materialized tuple rows (same semantics,
+        block-sized batches).
+        """
+        compiled = kernels.compile_filter(expression, self._layout.slot)
+        width = self._layout.width
+        if compiled is not None:
+            def generate():
+                for block in blocks:
+                    if block.length == 0:
+                        continue
+                    mask = kernels.filter_mask(block, compiled, self.cell_term)
+                    out = kernels.apply_mask(block, mask)
+                    if out.length:
+                        yield out
+            return generate()
+
+        def generate():
+            for block in blocks:
+                if block.length == 0:
+                    continue
+                keep = [
+                    index
+                    for index, row in enumerate(kernels.block_rows(block, width))
+                    if self._ebv(expression, row)
+                ]
+                if not keep:
+                    continue
+                if len(keep) == block.length:
+                    yield block
+                else:
+                    yield kernels.gather(block, keep)
+        return generate()
+
+    @staticmethod
+    def _observe_blocks(blocks, step):
+        """Count the rows a block stream produces into ``step.actual``."""
+        if step.actual is None:
+            step.actual = 0
+
+        def generate():
+            for block in blocks:
+                step.actual += block.length
+                yield block
+
+        return generate()
+
     def _extend_rows(self, rows, cpattern):
         """Index nested-loop step: probe the store once per current row."""
         triples_ids = self._store.triples_ids
@@ -423,11 +668,41 @@ class IdSpaceEvaluation:
 
     def _filter_rows(self, rows, expression):
         check = self._check
+        fast = self._bound_predicate(expression)
+        if fast is not None:
+            for row in rows:
+                if check is not None:
+                    check()
+                if fast(row):
+                    yield row
+            return
         for row in rows:
             if check is not None:
                 check()
             if self._ebv(expression, row):
                 yield row
+
+    def _bound_predicate(self, expression):
+        """A direct row predicate for ``bound``/``!bound`` filters, or None.
+
+        These filters (the Q6/Q7 closed-world negation idiom) only test
+        whether a cell is None, which needs no term decoding and no
+        expression-tree walk — the dominant per-row cost right after a big
+        left join.
+        """
+        negate = False
+        if isinstance(expression, ast.Not):
+            negate = True
+            expression = expression.operand
+        if not isinstance(expression, ast.Bound):
+            return None
+        slot = self._layout.slot(expression.variable)
+        if slot is None:
+            # A variable no pattern can bind: bound() is constantly false.
+            return (lambda row: True) if negate else (lambda row: False)
+        if negate:
+            return lambda row: row[slot] is None
+        return lambda row: row[slot] is not None
 
     def _bgp_scan_hash(self, node, compiled):
         layout = self._layout
@@ -512,7 +787,7 @@ class IdSpaceEvaluation:
         shared = self._node_slots(node) & seeded_slots
         return iter(_join_rows(rows, right, shared))
 
-    def _eval_left_join(self, node):
+    def _eval_left_join(self, node, anti=False):
         """Hash-based left outer join (OPTIONAL).
 
         The hash key combines the statically shared slots with any
@@ -521,6 +796,9 @@ class IdSpaceEvaluation:
         negation joins on the equality, not on a shared variable) — native
         engines turn exactly these theta-joins into equi-joins.  Only the
         residual condition is evaluated per candidate pair.
+
+        With ``anti`` (see :meth:`_anti_join_rows`) only unmatched left
+        rows are emitted, and probing stops at the first match.
         """
         left = list(self._eval(node.left))
         if not left:
@@ -529,10 +807,18 @@ class IdSpaceEvaluation:
         left_slots = self._node_slots(node.left)
         right_slots = self._node_slots(node.right)
         shared = tuple(sorted(left_slots & right_slots))
-        equi_left, equi_right, residual = self._split_equi_condition(
-            node.condition, left_slots, right_slots
+        equi_left, equi_right, order_pairs, residual = (
+            self._split_equi_condition(node.condition, left_slots, right_slots)
         )
         value_key = self._value_key
+        order_key = self._order_key
+        compare_ops = tuple(
+            kernels.ORDERING_OPS[op] for _ls, _rs, op in order_pairs
+        )
+        # With no statically shared slot, left and right rows bind disjoint
+        # columns (modulo equal-valued seed slots): the cell-wise union can
+        # never conflict, so the merge skips the compatibility checks.
+        disjoint = not shared
         keyed = {}
         loose = []          # equi-eligible rows whose shared-slot key is incomplete
         right_entries = []  # all equi-eligible rows, for unkeyed left rows
@@ -541,12 +827,19 @@ class IdSpaceEvaluation:
             if equi_key is None:
                 # An unbound equality column can never satisfy the condition.
                 continue
-            right_entries.append((row, equi_key))
+            order_keys = _order_cells_key(
+                row, order_pairs, 1, order_key
+            ) if order_pairs else ()
+            if order_keys is None:
+                # Same for an unbound ordering operand: type error -> false.
+                continue
+            entry = (row, equi_key, order_keys)
+            right_entries.append(entry)
             shared_key = _row_key(row, shared)
             if shared_key is None:
-                loose.append((row, equi_key))
+                loose.append(entry)
             else:
-                keyed.setdefault((shared_key, equi_key), []).append(row)
+                keyed.setdefault((shared_key, equi_key), []).append(entry)
         check = self._check
         results = []
         for left_row in left:
@@ -554,51 +847,83 @@ class IdSpaceEvaluation:
                 check()
             matched = False
             equi_key = _cells_key(left_row, equi_left, value_key)
-            if equi_key is not None:
+            left_keys = None
+            if equi_key is not None and order_pairs:
+                left_keys = _order_cells_key(
+                    left_row, order_pairs, 0, order_key
+                )
+            if equi_key is not None and (not order_pairs or left_keys is not None):
                 shared_key = _row_key(left_row, shared)
                 if shared_key is None:
                     candidates = [
-                        row for row, key in right_entries if key == equi_key
+                        entry for entry in right_entries
+                        if entry[1] == equi_key
                     ]
                 elif loose:
                     candidates = keyed.get((shared_key, equi_key), []) + [
-                        row for row, key in loose if key == equi_key
+                        entry for entry in loose if entry[1] == equi_key
                     ]
                 else:
                     candidates = keyed.get((shared_key, equi_key), ())
-                for right_row in candidates:
-                    merged = _merge_compatible(left_row, right_row)
-                    if merged is None:
+                for right_row, _key, right_keys in candidates:
+                    if order_pairs and not _order_keys_hold(
+                            left_keys, right_keys, compare_ops):
                         continue
+                    if anti and disjoint and residual is None:
+                        matched = True
+                        break
+                    if disjoint:
+                        merged = tuple(
+                            a if a is not None else b
+                            for a, b in zip(left_row, right_row)
+                        )
+                    else:
+                        merged = _merge_compatible(left_row, right_row)
+                        if merged is None:
+                            continue
                     if residual is not None and not self._ebv(residual, merged):
                         continue
-                    results.append(merged)
                     matched = True
+                    if anti:
+                        break
+                    results.append(merged)
             if not matched:
                 results.append(left_row)
         return iter(results)
 
     def _split_equi_condition(self, condition, left_slots, right_slots):
-        """Split a LeftJoin condition into hash-key slot pairs + residual.
+        """Split a LeftJoin condition into hash keys, order pairs, residual.
 
         A conjunct ``?a = ?b`` where one variable can only be bound by the
         left operand and the other only by the right becomes a
-        ``(left_slot, right_slot)`` key-column pair.  Everything else stays in
-        the residual condition (rebuilt as a conjunction, None when empty).
+        ``(left_slot, right_slot)`` key-column pair.  An ordering conjunct
+        ``?a < ?b`` of the same cross-side shape becomes an
+        ``(left_slot, right_slot, operator)`` entry checked through
+        memoized ordering keys — per-candidate comparisons of precomputed
+        floats/strings instead of full expression evaluation (Q6's
+        ``?yr2 < ?yr`` theta-join is exactly this shape).  Everything else
+        stays in the residual condition (rebuilt as a conjunction, None
+        when empty).
         """
         if condition is None:
-            return (), (), None
+            return (), (), (), None
         equi_left = []
         equi_right = []
+        order_pairs = []
         residual = []
         for conjunct in _split_conjuncts(condition):
             pair = self._equi_slots(conjunct, left_slots, right_slots)
-            if pair is None:
-                residual.append(conjunct)
-            else:
+            if pair is not None:
                 equi_left.append(pair[0])
                 equi_right.append(pair[1])
-        return tuple(equi_left), tuple(equi_right), _conjoin(residual)
+                continue
+            ordered = self._order_slots(conjunct, left_slots, right_slots)
+            if ordered is not None:
+                order_pairs.append(ordered)
+                continue
+            residual.append(conjunct)
+        return (tuple(equi_left), tuple(equi_right), tuple(order_pairs),
+                _conjoin(residual))
 
     def _equi_slots(self, conjunct, left_slots, right_slots):
         if not (isinstance(conjunct, ast.Comparison) and conjunct.operator == "="):
@@ -621,6 +946,42 @@ class IdSpaceEvaluation:
             return (b, a)
         return None
 
+    def _order_slots(self, conjunct, left_slots, right_slots):
+        """An ordering conjunct as (left_slot, right_slot, operator), or None.
+
+        Same cross-side shape as :meth:`_equi_slots` but for ``< <= > >=``;
+        when the conjunct is written right-to-left the operator is mirrored
+        so it always applies as ``compare(left_cell, right_cell)``.
+        """
+        if not (isinstance(conjunct, ast.Comparison)
+                and conjunct.operator in kernels.ORDERING_OPS):
+            return None
+        slots = []
+        for expression in (conjunct.left, conjunct.right):
+            if not (
+                isinstance(expression, ast.TermExpression)
+                and isinstance(expression.term, Variable)
+            ):
+                return None
+            slot = self._layout.slot(expression.term)
+            if slot is None:
+                return None
+            slots.append(slot)
+        a, b = slots
+        if a in left_slots and b in right_slots and a not in right_slots and b not in left_slots:
+            return (a, b, conjunct.operator)
+        if b in left_slots and a in right_slots and b not in right_slots and a not in left_slots:
+            return (b, a, _FLIPPED_ORDER[conjunct.operator])
+        return None
+
+    def _order_key(self, cell):
+        """Memoized SPARQL ordering key of one cell (kind, comparable)."""
+        key = self._order_key_memo.get(cell)
+        if key is None:
+            key = kernels.ordering_proxy(self.cell_term(cell))
+            self._order_key_memo[cell] = key
+        return key
+
     def _value_key(self, cell):
         """Canonical hash key under SPARQL ``=`` (value) equality.
 
@@ -631,7 +992,19 @@ class IdSpaceEvaluation:
         boolean literals) by term identity.  Pairs ``_equals`` would reject
         with a type error land in different key classes, matching the
         condition evaluating to false.
+
+        Memoized per cell: the left-join build calls this once per row and
+        equi-column, and rows repeat the same ids heavily (Q6-style builds
+        re-derive the key for every author id on every row), so the memo
+        turns decode + ``to_python`` + classification into one dict hit.
         """
+        key = self._value_key_memo.get(cell)
+        if key is None:
+            key = self._compute_value_key(cell)
+            self._value_key_memo[cell] = key
+        return key
+
+    def _compute_value_key(self, cell):
         term = self.cell_term(cell)
         if isinstance(term, Literal) and term.language is None:
             value = term.to_python()
@@ -651,7 +1024,40 @@ class IdSpaceEvaluation:
         return generate()
 
     def _eval_filter(self, node):
+        anti = self._anti_join_rows(node)
+        if anti is not None:
+            return anti
         return self._filter_rows(self._eval(node.operand), node.expression)
+
+    def _anti_join_rows(self, node):
+        """Closed-world negation, or None when the shape doesn't apply.
+
+        ``FILTER (!bound(?v))`` over an OPTIONAL whose right side always
+        binds ``?v`` keeps exactly the unmatched left rows — the Q6/Q7
+        idiom the paper singles out.  Matched rows only exist to be thrown
+        away, so the left join can stop probing a left row at its first
+        match instead of materializing every merged pair.
+        """
+        expression = node.expression
+        if not isinstance(expression, ast.Not):
+            return None
+        operand = expression.operand
+        if not isinstance(operand, ast.Bound):
+            return None
+        inner = node.operand
+        if not isinstance(inner, algebra.LeftJoin):
+            return None
+        if not isinstance(inner.right, algebra.BGP):
+            return None
+        if operand.variable not in inner.right.variables():
+            return None
+        slot = self._layout.slot(operand.variable)
+        if slot is None or slot in self._node_slots(inner.left):
+            return None
+        if self._seed:
+            # Seeds could bind the tested slot on the left side.
+            return None
+        return self._eval_left_join(inner, anti=True)
 
     # -- solution modifiers --------------------------------------------------
 
@@ -676,12 +1082,98 @@ class IdSpaceEvaluation:
         return generate()
 
     def _eval_distinct(self, node):
+        fast = self._distinct_blocks(node.operand)
+        if fast is not None:
+            return fast
+
         def generate():
             seen = set()
             for row in self._eval(node.operand):
                 if row not in seen:
                     seen.add(row)
                     yield row
+
+        return generate()
+
+    def _distinct_blocks(self, operand):
+        """Block-space DISTINCT over a projected BGP, or None when ineligible.
+
+        The Q4 shape — ``SELECT DISTINCT ?a ?b WHERE { <join-heavy BGP> }``
+        — otherwise materializes one tuple per intermediate row only for
+        the distinct set to discard most of them.  When the operand is
+        Project over a kernel-annotated BGP and at most two id columns
+        survive the projection, dedup runs on the blocks themselves (a u64
+        composite per row, unique per block) and only distinct rows ever
+        become tuples.  Emission order differs from the tuple path (blocks
+        dedup sorted, tuples first-seen) — DISTINCT without ORDER BY leaves
+        order unspecified, and the result multiset is identical.
+        """
+        if not (isinstance(operand, algebra.Project)
+                and operand.projection is not None):
+            return None
+        bgp = operand.operand
+        blocks = self._bgp_block_stream(bgp)
+        if blocks is None:
+            return None
+        layout = self._layout
+        bound = set()
+        for pattern in bgp.patterns:
+            for term in pattern:
+                if isinstance(term, Variable):
+                    bound.add(layout.slot(term))
+        keep = sorted({
+            slot
+            for slot in (layout.slot(v) for v in operand.projection)
+            if slot is not None and slot in bound
+        })
+        # Projected variables the BGP never binds stay None in every row, so
+        # they cannot affect distinctness; with no surviving id column the
+        # generic path handles the degenerate all-None case.
+        if not 1 <= len(keep) <= 2:
+            return None
+        return self._distinct_projected(blocks, keep)
+
+    def _distinct_projected(self, blocks, keep):
+        width = self._layout.width
+
+        def generate():
+            seen = set()
+            if kernels.numpy_enabled():
+                np = kernels._np
+                if len(keep) == 1:
+                    (slot,) = keep
+                    for block in blocks:
+                        column = np.asarray(block.columns[slot])
+                        for key in np.unique(column).tolist():
+                            if key not in seen:
+                                seen.add(key)
+                                row = [None] * width
+                                row[slot] = key
+                                yield tuple(row)
+                    return
+                a_slot, b_slot = keep
+                for block in blocks:
+                    a = np.asarray(block.columns[a_slot], dtype=np.uint64)
+                    b = np.asarray(block.columns[b_slot], dtype=np.uint64)
+                    for key in np.unique((a << 32) | b).tolist():
+                        if key not in seen:
+                            seen.add(key)
+                            row = [None] * width
+                            row[a_slot] = key >> 32
+                            row[b_slot] = key & 0xFFFFFFFF
+                            yield tuple(row)
+                return
+            for block in blocks:
+                columns = [
+                    kernels._tolist(block.columns[slot]) for slot in keep
+                ]
+                for cells in zip(*columns):
+                    if cells not in seen:
+                        seen.add(cells)
+                        row = [None] * width
+                        for slot, cell in zip(keep, cells):
+                            row[slot] = cell
+                        yield tuple(row)
 
         return generate()
 
@@ -816,6 +1308,37 @@ def _cells_key(row, slots, value_key):
             return None
         key.append(value_key(cell))
     return tuple(key)
+
+
+def _order_cells_key(row, order_pairs, side, order_key):
+    """One row's ordering keys over the extracted conjuncts (one side).
+
+    ``side`` selects the pair element (0 = left slot, 1 = right slot).
+    None when any operand cell is unbound — a type error no candidate pair
+    can recover from, mirroring :func:`expressions._compare`.
+    """
+    keys = []
+    for pair in order_pairs:
+        cell = row[pair[side]]
+        if cell is None:
+            return None
+        keys.append(order_key(cell))
+    return keys
+
+
+def _order_keys_hold(left_keys, right_keys, compare_ops):
+    """All extracted ordering conjuncts hold for one candidate pair.
+
+    Cross-type pairs (or unorderable kinds) are SPARQL type errors, which
+    under the condition's conjunction make the pair fail.
+    """
+    for (kind_a, key_a), (kind_b, key_b), compare in zip(
+            left_keys, right_keys, compare_ops):
+        if kind_a != kind_b or kind_a == kernels.ORD_ERROR:
+            return False
+        if not compare(key_a, key_b):
+            return False
+    return True
 
 
 # -- row algebra ----------------------------------------------------------------

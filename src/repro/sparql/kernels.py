@@ -1,0 +1,673 @@
+"""Batch (column-at-a-time) kernels for the id-space evaluator.
+
+The tuple path in :mod:`.idspace` grows one Python tuple per intermediate
+solution inside the BGP hot loops — per-row interpreter overhead the paper's
+native engines do not pay.  This module provides the batch alternative: a
+basic graph pattern executes over :class:`Block` objects (parallel ``u32``
+id columns keyed by slot), and each plan step is one kernel call that
+binary-searches or merge-joins a predicate's :class:`~repro.store.
+indexed_store.SortedRun` against whole columns at a time.
+
+Three kinds of kernels live here:
+
+* **scan/selection** — stream a sorted run (or one key's value range) into
+  blocks of at most :data:`BLOCK_ROWS` rows, so downstream LIMIT pushdown
+  and deadline checks keep working at block granularity;
+* **join/probe** — extend every block row with its run matches
+  (``extend_bound``), or filter rows by membership of one column
+  (``member_mask``) / a column pair (``semijoin_pair``) in a run;
+* **columnar filters** — evaluate the comparison/equality FILTER shapes the
+  catalog queries use against whole columns, reproducing the exact SPARQL
+  semantics of :mod:`.expressions` (value equality across numeric datatypes,
+  type errors mapping to false) through per-unique-id proxies.
+
+Every kernel has a numpy fast path and a pure-``array``/``bisect`` fallback;
+numpy is detected once at import (and disabled by ``SP2B_DISABLE_NUMPY=1``,
+the CI leg that keeps the fallback measured).  Nothing here imports the
+planner or evaluator — the dependency points the other way.
+"""
+
+from __future__ import annotations
+
+import operator
+import os
+from bisect import bisect_left, bisect_right
+
+from ..rdf.terms import BNode, Literal, URIRef, Variable
+from . import ast
+
+
+def _load_numpy():
+    """The numpy module, or None when unavailable or explicitly disabled."""
+    if os.environ.get("SP2B_DISABLE_NUMPY"):
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy ships in the dev image
+        return None
+    return numpy
+
+
+#: The numpy module when the fast path is active (tests monkeypatch this to
+#: None to exercise the pure-array fallback without re-importing).
+_np = _load_numpy()
+
+
+def numpy_enabled():
+    """True when the numpy fast path is active."""
+    return _np is not None
+
+
+#: Rows per block on the scan/selection kernels.  Large enough that per-block
+#: Python overhead (one generator step, one deadline check) is amortized over
+#: ~1k rows of C-level work, small enough that a LIMIT 10 query never
+#: materializes more than one block past its answer and deadlines fire with
+#: sub-millisecond granularity on the catalog workloads.
+BLOCK_ROWS = 1024
+
+
+class Block:
+    """A batch of intermediate solutions as parallel id columns.
+
+    ``columns`` maps slot index -> column of dictionary ids (a numpy array on
+    the fast path, a plain list on the fallback); every column has exactly
+    ``length`` entries.  Slots absent from ``columns`` are unbound in every
+    row of the block — within one planned BGP a variable is either bound in
+    all rows of a block or in none, which is what lets blocks drop the
+    per-cell ``None`` bookkeeping of the tuple path.
+    """
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns, length):
+        self.columns = columns
+        self.length = length
+
+    def __len__(self):
+        return self.length
+
+    def __repr__(self):
+        return f"Block(slots={sorted(self.columns)}, rows={self.length})"
+
+
+def unit_block():
+    """The starting block of a BGP: one row binding nothing."""
+    return Block({}, 1)
+
+
+def empty_block():
+    """A block with no rows (kernels return it for empty join results)."""
+    return Block({}, 0)
+
+
+# -- column plumbing ----------------------------------------------------------
+
+
+def _tolist(column):
+    """A column as a plain list of Python ints."""
+    if _np is not None and isinstance(column, _np.ndarray):
+        return column.tolist()
+    return list(column)
+
+
+def _run_np(run):
+    """Numpy views over a run's two columns, cached on the run.
+
+    ``array('I')`` exposes the buffer protocol, so the common case is a
+    zero-copy ``frombuffer`` view; the views die with the run's cache, which
+    store mutation clears together with the run itself.
+    """
+    view = run.cache.get("np")
+    if view is None:
+        if run.keys.itemsize == 4:
+            keys = _np.frombuffer(run.keys, dtype=_np.uint32)
+            values = _np.frombuffer(run.values, dtype=_np.uint32)
+        else:  # pragma: no cover - exotic platform where u32 arrays widen
+            keys = _np.asarray(run.keys, dtype=_np.uint32)
+            values = _np.asarray(run.values, dtype=_np.uint32)
+        view = (keys, values)
+        run.cache["np"] = view
+    return view
+
+
+def _run_composite(run):
+    """The run's (key, value) pairs as one sorted u64 column, cached."""
+    composite = run.cache.get("composite")
+    if composite is None:
+        keys, values = _run_np(run)
+        composite = (keys.astype(_np.uint64) << 32) | values
+        run.cache["composite"] = composite
+    return composite
+
+
+def mask_all(block, value):
+    """A constant filter mask over one block."""
+    if _np is not None:
+        return _np.full(block.length, bool(value))
+    return [bool(value)] * block.length
+
+
+def combine_masks(left, right):
+    """Conjunction of two masks."""
+    if _np is not None:
+        return left & right
+    return [a and b for a, b in zip(left, right)]
+
+
+def apply_mask(block, mask):
+    """The block restricted to the rows where ``mask`` is true."""
+    if _np is not None:
+        length = int(mask.sum())
+        if length == block.length:
+            return block
+        columns = {slot: col[mask] for slot, col in block.columns.items()}
+        return Block(columns, length)
+    keep = [index for index, flag in enumerate(mask) if flag]
+    if len(keep) == block.length:
+        return block
+    columns = {
+        slot: [col[index] for index in keep]
+        for slot, col in block.columns.items()
+    }
+    return Block(columns, len(keep))
+
+
+def gather(block, indices):
+    """The block restricted to (and ordered by) the given row indices."""
+    if _np is not None:
+        idx = _np.asarray(indices, dtype=_np.intp)
+        columns = {slot: col[idx] for slot, col in block.columns.items()}
+        return Block(columns, len(indices))
+    columns = {
+        slot: [col[index] for index in indices]
+        for slot, col in block.columns.items()
+    }
+    return Block(columns, len(indices))
+
+
+def block_rows(block, width):
+    """Yield one block's rows as flat ``width``-wide tuples of ints/None.
+
+    The bridge back to the tuple domain: ids come out as Python ints
+    (``tolist`` conversion), so downstream operators (OPTIONAL joins,
+    DISTINCT sets, the decode memo) see exactly the cells the tuple path
+    would have produced.
+    """
+    if block.length == 0:
+        return
+    slots = sorted(block.columns)
+    if not slots:
+        row = (None,) * width
+        for _ in range(block.length):
+            yield row
+        return
+    template = [None] * width
+    lists = [_tolist(block.columns[slot]) for slot in slots]
+    for cells in zip(*lists):
+        row = template.copy()
+        for slot, cell in zip(slots, cells):
+            row[slot] = cell
+        yield tuple(row)
+
+
+def rows_from_blocks(blocks, width):
+    """Flatten a lazy block stream into the tuple-row protocol."""
+    for block in blocks:
+        yield from block_rows(block, width)
+
+
+# -- scan / selection kernels -------------------------------------------------
+
+
+def run_scan_blocks(run, key_slot, value_slot):
+    """Stream a whole run as blocks of at most BLOCK_ROWS rows.
+
+    The run is already sorted by ``key_slot``'s column, which downstream
+    merge-join steps exploit; chunking keeps the pipeline lazy so LIMIT
+    pushdown stops the scan early.
+    """
+    total = len(run)
+    if _np is not None:
+        keys, values = _run_np(run)
+        for start in range(0, total, BLOCK_ROWS):
+            stop = min(start + BLOCK_ROWS, total)
+            yield Block(
+                {key_slot: keys[start:stop], value_slot: values[start:stop]},
+                stop - start,
+            )
+        return
+    keys, values = run.keys, run.values
+    for start in range(0, total, BLOCK_ROWS):
+        stop = min(start + BLOCK_ROWS, total)
+        yield Block(
+            {
+                key_slot: list(keys[start:stop]),
+                value_slot: list(values[start:stop]),
+            },
+            stop - start,
+        )
+
+
+def select_eq(run, key):
+    """All values for one exact key, ascending (possibly empty).
+
+    Within equal keys a run is sorted by value (lexicographic pair sort), so
+    the returned column is itself binary-searchable by :func:`member_mask`.
+    """
+    if _np is not None:
+        keys, values = _run_np(run)
+        lo = int(_np.searchsorted(keys, key, "left"))
+        hi = int(_np.searchsorted(keys, key, "right"))
+        return values[lo:hi]
+    lo = bisect_left(run.keys, key)
+    hi = bisect_right(run.keys, key)
+    return list(run.values[lo:hi])
+
+
+def column_length(column):
+    return len(column)
+
+
+def cross_extend(block, new_columns):
+    """Cartesian product of a block with parallel new columns.
+
+    ``new_columns`` maps slot -> column; all new columns have the same
+    length ``m``.  Every block row is paired with every new row: existing
+    columns repeat each entry ``m`` times (preserving row order, and with it
+    any sortedness of existing columns), new columns tile ``block.length``
+    times.
+    """
+    lengths = {len(col) for col in new_columns.values()}
+    (m,) = lengths
+    if m == 0 or block.length == 0:
+        return empty_block()
+    if _np is not None:
+        columns = {
+            slot: _np.repeat(col, m) for slot, col in block.columns.items()
+        }
+        for slot, col in new_columns.items():
+            columns[slot] = _np.tile(_np.asarray(col), block.length)
+        return Block(columns, block.length * m)
+    columns = {
+        slot: [cell for cell in col for _ in range(m)]
+        for slot, col in block.columns.items()
+    }
+    for slot, col in new_columns.items():
+        columns[slot] = list(col) * block.length
+    return Block(columns, block.length * m)
+
+
+# -- join / probe kernels -----------------------------------------------------
+
+
+def extend_bound(block, bound_slot, run, new_slot):
+    """Join a block column against a run's keys, binding the values.
+
+    For every row, every run entry whose key equals the row's
+    ``bound_slot`` id produces one output row with the entry's value in
+    ``new_slot``.  Row order is preserved (the output index vector is
+    non-decreasing), so a column that was sorted stays sorted — the
+    property that keeps merge-join steps merge-joinable down the pipeline.
+    """
+    column = block.columns[bound_slot]
+    if _np is not None:
+        np = _np
+        keys, values = _run_np(run)
+        lo = np.searchsorted(keys, column, "left")
+        hi = np.searchsorted(keys, column, "right")
+        counts = hi - lo
+        total = int(counts.sum())
+        if total == 0:
+            return empty_block()
+        out_index = np.repeat(np.arange(block.length), counts)
+        # Positions into the run: a ramp over the output rows, rebased per
+        # input row to that row's [lo, hi) match range.
+        starts = np.repeat(lo, counts)
+        rebase = np.repeat(np.cumsum(counts) - counts, counts)
+        positions = np.arange(total) - rebase + starts
+        columns = {
+            slot: col[out_index] for slot, col in block.columns.items()
+        }
+        columns[new_slot] = values[positions]
+        return Block(columns, total)
+    keys, values = run.keys, run.values
+    out_index = []
+    new_column = []
+    for index, key in enumerate(column):
+        lo = bisect_left(keys, key)
+        hi = bisect_right(keys, key)
+        if lo == hi:
+            continue
+        out_index.extend([index] * (hi - lo))
+        new_column.extend(values[lo:hi])
+    if not out_index:
+        return empty_block()
+    columns = {
+        slot: [col[index] for index in out_index]
+        for slot, col in block.columns.items()
+    }
+    columns[new_slot] = new_column
+    return Block(columns, len(out_index))
+
+
+def member_mask(block, bound_slot, sorted_values):
+    """Mask of rows whose column id occurs in an ascending value column."""
+    column = block.columns[bound_slot]
+    if _np is not None:
+        np = _np
+        if len(sorted_values) == 0:
+            return np.zeros(block.length, dtype=bool)
+        values = np.asarray(sorted_values)
+        positions = np.searchsorted(values, column, "left")
+        clipped = np.minimum(positions, len(values) - 1)
+        return values[clipped] == column
+    mask = []
+    size = len(sorted_values)
+    for key in column:
+        index = bisect_left(sorted_values, key)
+        mask.append(index < size and sorted_values[index] == key)
+    return mask
+
+
+def semijoin_pair(block, key_slot, value_slot, run):
+    """Mask of rows whose (key, value) column pair occurs in the run."""
+    key_column = block.columns[key_slot]
+    value_column = block.columns[value_slot]
+    if _np is not None:
+        np = _np
+        composite = _run_composite(run)
+        if len(composite) == 0:
+            return np.zeros(block.length, dtype=bool)
+        needles = (
+            np.asarray(key_column, dtype=np.uint64) << 32
+        ) | np.asarray(value_column, dtype=np.uint64)
+        positions = np.searchsorted(composite, needles, "left")
+        clipped = np.minimum(positions, len(composite) - 1)
+        return composite[clipped] == needles
+    keys, values = run.keys, run.values
+    mask = []
+    for key, value in zip(key_column, value_column):
+        lo = bisect_left(keys, key)
+        hi = bisect_right(keys, key)
+        # Values are ascending within one key's range, so the pair test is a
+        # second bisect bounded to that range — no slice is materialized.
+        index = bisect_left(values, value, lo, hi)
+        mask.append(index < hi and values[index] == value)
+    return mask
+
+
+# -- columnar filters ---------------------------------------------------------
+#
+# The filter kernels reproduce expressions._compare exactly, one unique id at
+# a time instead of one row at a time: every distinct id in the operand
+# columns is decoded once and classified into a comparison proxy, then the
+# row-level mask is pure id-class arithmetic.  The proxy classes mirror the
+# type ladder of expressions._equals/_order_values, including the SPARQL
+# type-error cases (which map to a false mask entry, matching
+# effective_boolean_value's error handling).
+
+_ORDERING = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Equality proxy kinds (the _equals type ladder).
+_EQ_TERM = 0    # URI / blank node: term equality, errors against literals
+_EQ_NUM = 1     # numeric literal: value equality across datatypes
+_EQ_STR = 2     # language-free string-valued literal: string value equality
+_EQ_LIT = 3     # other literal (lang-tagged, boolean, ...): term equality
+
+#: Ordering proxy kinds (the _order_values ladder; 0 = type error).
+_ORD_ERROR = 0
+_ORD_NUM = 1
+_ORD_STR = 2
+
+
+def _eq_proxy(term):
+    """Equality class of one term: equal proxies <=> _equals() holds."""
+    if isinstance(term, Literal):
+        value = term.to_python()
+        if isinstance(value, bool):
+            return (_EQ_LIT, term)
+        if isinstance(value, (int, float)):
+            return (_EQ_NUM, float(value))
+        if isinstance(value, str) and term.language is None:
+            return (_EQ_STR, value)
+        return (_EQ_LIT, term)
+    return (_EQ_TERM, term)
+
+
+def _ord_proxy(term):
+    """Ordering class and key of one term (kind 0 = unorderable)."""
+    if isinstance(term, Literal):
+        value = term.to_python()
+        if isinstance(value, bool):
+            return (_ORD_ERROR, None)
+        if isinstance(value, (int, float)):
+            return (_ORD_NUM, float(value))
+        if isinstance(value, str):
+            return (_ORD_STR, value)
+    return (_ORD_ERROR, None)
+
+
+#: Public names for the ordering-key machinery: the left-join build reuses
+#: it to turn theta-join conjuncts (``?yr2 < ?yr``) into precomputed-key
+#: comparisons instead of per-candidate expression evaluation.
+ORD_ERROR = _ORD_ERROR
+ORDERING_OPS = _ORDERING
+ordering_proxy = _ord_proxy
+
+
+def compile_filter(expression, slot_of):
+    """Compile a FILTER expression to columnar conjuncts, or None.
+
+    Supported: conjunctions (``&&``) of comparisons whose operands are
+    variables or constant terms — the shapes the catalog queries use.  Each
+    compiled conjunct is ``(operator, operand, operand)`` with operands
+    ``("slot", index-or-None)`` or ``("const", term)``.  Anything else
+    returns None and the caller falls back to per-row evaluation.
+    """
+    conjuncts = []
+    for conjunct in _flatten_and(expression):
+        if not isinstance(conjunct, ast.Comparison):
+            return None
+        if conjunct.operator not in ("=", "!=") and \
+                conjunct.operator not in _ORDERING:
+            return None
+        operands = []
+        for side in (conjunct.left, conjunct.right):
+            if not isinstance(side, ast.TermExpression):
+                return None
+            term = side.term
+            if isinstance(term, Variable):
+                operands.append(("slot", slot_of(term)))
+            elif isinstance(term, (URIRef, BNode, Literal)):
+                operands.append(("const", term))
+            else:
+                return None
+        conjuncts.append((conjunct.operator, operands[0], operands[1]))
+    return conjuncts
+
+
+def _flatten_and(expression):
+    if isinstance(expression, ast.And):
+        return _flatten_and(expression.left) + _flatten_and(expression.right)
+    return [expression]
+
+
+def filter_mask(block, compiled, cell_term):
+    """Row mask of a compiled filter over one block.
+
+    Conjuncts combine by plain AND: a per-conjunct type error yields false
+    for that conjunct, and under SPARQL's three-valued ``&&`` any false or
+    error conjunct makes the whole filter drop the row — identical outcomes.
+    """
+    mask = None
+    for op, left, right in compiled:
+        conjunct_mask = _conjunct_mask(block, op, left, right, cell_term)
+        mask = (
+            conjunct_mask if mask is None
+            else combine_masks(mask, conjunct_mask)
+        )
+    return mask if mask is not None else mask_all(block, True)
+
+
+def _operand_column(block, operand):
+    """Resolve an operand to ``("col", column)`` / ``("const", term)`` / None.
+
+    None means the operand is a variable with no bound column in this block:
+    every row evaluates it as unbound -> type error -> false.
+    """
+    kind, ref = operand
+    if kind == "const":
+        return ("const", ref)
+    if ref is None:
+        return None
+    column = block.columns.get(ref)
+    if column is None:
+        return None
+    return ("col", column)
+
+
+def _conjunct_mask(block, op, left, right, cell_term):
+    left = _operand_column(block, left)
+    right = _operand_column(block, right)
+    if left is None or right is None:
+        return mask_all(block, False)
+    if op in ("=", "!="):
+        return _equality_mask(block, op, left, right, cell_term)
+    return _ordering_mask(block, op, left, right, cell_term)
+
+
+def _unique_decode(column, proxy_fn, cell_term):
+    """Proxy per unique column id, plus the row->unique inverse mapping."""
+    if _np is not None:
+        unique, inverse = _np.unique(column, return_inverse=True)
+        proxies = [proxy_fn(cell_term(ident)) for ident in unique.tolist()]
+        return proxies, inverse
+    memo = {}
+    row_proxies = []
+    for ident in column:
+        proxy = memo.get(ident)
+        if proxy is None:
+            proxy = proxy_fn(cell_term(ident))
+            memo[ident] = proxy
+        row_proxies.append(proxy)
+    return row_proxies, None
+
+
+def _equality_mask(block, op, left, right, cell_term):
+    sides = []
+    for operand in (left, right):
+        if operand[0] == "const":
+            sides.append(("const", _eq_proxy(operand[1])))
+        else:
+            proxies, inverse = _unique_decode(operand[1], _eq_proxy, cell_term)
+            sides.append(("col", proxies, inverse))
+    if sides[0][0] == "const" and sides[1][0] == "const":
+        proxy_a, proxy_b = sides[0][1], sides[1][1]
+        error = (proxy_a[0] == _EQ_TERM) != (proxy_b[0] == _EQ_TERM)
+        equal = proxy_a == proxy_b
+        result = False if error else (equal if op == "=" else not equal)
+        return mask_all(block, result)
+    if _np is not None:
+        np = _np
+        codes = {}
+
+        def encode(proxies):
+            out_codes = np.empty(len(proxies), dtype=np.int64)
+            out_terms = np.empty(len(proxies), dtype=bool)
+            for index, proxy in enumerate(proxies):
+                out_codes[index] = codes.setdefault(proxy, len(codes))
+                out_terms[index] = proxy[0] == _EQ_TERM
+            return out_codes, out_terms
+
+        lanes = []
+        for side in sides:
+            if side[0] == "const":
+                code, is_term = encode([side[1]])
+                lanes.append((code[0], is_term[0]))
+            else:
+                code, is_term = encode(side[1])
+                lanes.append((code[side[2]], is_term[side[2]]))
+        (code_a, term_a), (code_b, term_b) = lanes
+        equal = code_a == code_b
+        error = term_a != term_b
+        if op == "=":
+            return equal & ~error
+        return ~equal & ~error
+    lanes = [
+        [side[1]] * block.length if side[0] == "const" else side[1]
+        for side in sides
+    ]
+    mask = []
+    for proxy_a, proxy_b in zip(*lanes):
+        if (proxy_a[0] == _EQ_TERM) != (proxy_b[0] == _EQ_TERM):
+            mask.append(False)
+        elif op == "=":
+            mask.append(proxy_a == proxy_b)
+        else:
+            mask.append(proxy_a != proxy_b)
+    return mask
+
+
+def _ordering_mask(block, op, left, right, cell_term):
+    compare = _ORDERING[op]
+    sides = []
+    for operand in (left, right):
+        if operand[0] == "const":
+            sides.append(("const", _ord_proxy(operand[1])))
+        else:
+            proxies, inverse = _unique_decode(operand[1], _ord_proxy, cell_term)
+            sides.append(("col", proxies, inverse))
+    if sides[0][0] == "const" and sides[1][0] == "const":
+        proxy_a, proxy_b = sides[0][1], sides[1][1]
+        valid = proxy_a[0] == proxy_b[0] != _ORD_ERROR
+        result = valid and compare(proxy_a[1], proxy_b[1])
+        return mask_all(block, result)
+    if _np is not None:
+        np = _np
+        # Strings from both sides share one dense rank so the float key
+        # lanes compare consistently; numeric keys are their own rank.
+        strings = sorted({
+            proxy[1]
+            for side in sides
+            for proxy in ([side[1]] if side[0] == "const" else side[1])
+            if proxy[0] == _ORD_STR
+        })
+        rank = {text: float(index) for index, text in enumerate(strings)}
+
+        def encode(proxies):
+            kinds = np.empty(len(proxies), dtype=np.int8)
+            keys = np.zeros(len(proxies), dtype=np.float64)
+            for index, (kind, key) in enumerate(proxies):
+                kinds[index] = kind
+                if kind == _ORD_NUM:
+                    keys[index] = key
+                elif kind == _ORD_STR:
+                    keys[index] = rank[key]
+            return kinds, keys
+
+        lanes = []
+        for side in sides:
+            if side[0] == "const":
+                kinds, keys = encode([side[1]])
+                lanes.append((kinds[0], keys[0]))
+            else:
+                kinds, keys = encode(side[1])
+                lanes.append((kinds[side[2]], keys[side[2]]))
+        (kind_a, key_a), (kind_b, key_b) = lanes
+        return (kind_a == kind_b) & (kind_a != _ORD_ERROR) \
+            & compare(key_a, key_b)
+    lanes = [
+        [side[1]] * block.length if side[0] == "const" else side[1]
+        for side in sides
+    ]
+    mask = []
+    for (kind_a, key_a), (kind_b, key_b) in zip(*lanes):
+        mask.append(
+            kind_a == kind_b != _ORD_ERROR and compare(key_a, key_b)
+        )
+    return mask

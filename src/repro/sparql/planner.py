@@ -52,6 +52,21 @@ SCAN = "scan"     # scan the pattern extent once, hash-join on the shared slots
 HASH_JOIN = "hash"
 BIND_JOIN = "bind"
 
+#: Batch kernels a vectorized plan step can execute (PlanStep.kernel).
+#: BATCH_SCAN streams a predicate's sorted run in blocks; MERGE_JOIN extends
+#: blocks whose join column is run-sorted (linear merge over two sorted
+#: orders); BATCH_PROBE binary-searches the run per block column.  ``None``
+#: means the step runs on the tuple path.
+BATCH_SCAN = "batch_scan"
+MERGE_JOIN = "merge_join"
+BATCH_PROBE = "batch_probe"
+
+#: Minimum estimated BGP cost before batch kernels pay off.  Block execution
+#: has per-query fixed overhead (block plumbing, numpy call constants) of the
+#: order of tens of microseconds; point lookups like Q1/Q10 (cost <= ~5) run
+#: faster tuple-at-a-time, while every join-heavy catalog BGP costs >= ~27.
+VECTORIZE_MIN_COST = 16.0
+
 #: Planner family names (the ``EngineConfig.planner`` axis).
 PLANNER_NONE = "none"
 PLANNER_GREEDY = "greedy"
@@ -76,6 +91,7 @@ class PlanStep:
     pattern_estimate: float = 0.0   #: standalone cardinality of the pattern
     estimate: float = 0.0           #: estimated rows after this step (+ filters)
     actual: Optional[int] = None    #: rows observed during an EXPLAIN run
+    kernel: Optional[str] = None    #: batch kernel (MERGE_JOIN/...), or tuple path
 
 
 @dataclass
@@ -202,13 +218,18 @@ def _star_key(pattern):
 
 
 def plan_bgp(patterns, inline_filters, model, outer_bound=frozenset(),
-             initial_rows=1.0, reorder=True, fixed_strategy=None):
+             initial_rows=1.0, reorder=True, fixed_strategy=None,
+             vectorize=False):
     """Plan one basic graph pattern.
 
     Returns ``(ordered_patterns, remapped_inline_filters, BGPPlan)``.  With
     ``reorder=False`` the given order is kept (used to describe the greedy /
     unoptimized families for EXPLAIN); ``fixed_strategy`` forces every step
-    to PROBE or SCAN, mirroring a configured single-strategy engine.
+    to PROBE or SCAN, mirroring a configured single-strategy engine.  With
+    ``vectorize`` the finished steps are additionally annotated with batch
+    kernels (all steps or none — see :func:`_annotate_kernels`); kernel
+    annotation never changes ordering or strategy choice, so a vectorized
+    and a tuple-path plan of the same query are step-for-step identical.
     """
     star_groups = {}
     for pattern in patterns:
@@ -297,23 +318,86 @@ def plan_bgp(patterns, inline_filters, model, outer_bound=frozenset(),
         estimate=rows,
         cost=cost,
     )
+    if vectorize and not outer_bound and cost >= VECTORIZE_MIN_COST:
+        _annotate_kernels(steps)
     return ordered, placed_filters, plan
+
+
+def _annotate_kernels(steps):
+    """Assign a batch kernel to every step, or to none.
+
+    A step is kernel-eligible when its predicate is constant (the batch
+    kernels execute over per-predicate sorted runs) and its subject/object
+    are distinct variables or constants.  The whole BGP vectorizes or none
+    of it does: blocks and tuples cannot alternate mid-pipeline.  Kernel
+    choice mirrors what the block executor will do — scan a run, merge-join
+    on the column the pipeline keeps run-sorted, or binary-search probe —
+    but is purely descriptive: the runtime dispatches on the same shapes.
+    """
+    bound = set()
+    sorted_name = None
+    kernels = []
+    for index, step in enumerate(steps):
+        pattern = step.pattern
+        if isinstance(pattern.predicate, Variable):
+            return
+        subject, object_ = pattern.subject, pattern.object
+        s_name = subject.name if isinstance(subject, Variable) else None
+        o_name = object_.name if isinstance(object_, Variable) else None
+        if s_name is not None and s_name == o_name:
+            return
+        s_bound = s_name is not None and s_name in bound
+        o_bound = o_name is not None and o_name in bound
+        s_free = s_name is not None and not s_bound
+        o_free = o_name is not None and not o_bound
+        if s_free and o_free:
+            kernel = BATCH_SCAN
+            if index == 0:
+                # The first step's run scan leaves the block sorted by the
+                # run key; later kernels preserve that order (their output
+                # row indexes are non-decreasing), so joins on this column
+                # stay linear merges for the rest of the pipeline.
+                sorted_name = s_name
+        elif s_bound or o_bound:
+            probe_name = s_name if s_bound else o_name
+            if s_bound and o_bound:
+                kernel = BATCH_PROBE
+            elif probe_name == sorted_name:
+                kernel = MERGE_JOIN
+            else:
+                kernel = BATCH_PROBE
+        else:
+            # Constant subject and/or object: an existence check or a
+            # single-key selection cross-extended into the block.
+            kernel = BATCH_PROBE
+            if index == 0 and (s_free or o_free):
+                sorted_name = s_name if s_free else o_name
+        bound.update(name for name in (s_name, o_name) if name is not None)
+        kernels.append(kernel)
+    for step, kernel in zip(steps, kernels):
+        step.kernel = kernel
 
 
 # ---------------------------------------------------------------------------
 # Tree planning
 # ---------------------------------------------------------------------------
 
-def plan_tree(tree, store):
+def plan_tree(tree, store, vectorize=False):
     """Cost-based planning pass over a whole algebra tree.
 
     Reorders every BGP, chooses per-step physical strategies, decides
     hash-versus-bind for Join nodes, and attaches the plans to the returned
-    (new) tree.  The input tree is not mutated.
+    (new) tree.  The input tree is not mutated.  ``vectorize`` additionally
+    annotates batch kernels on the steps of standalone BGPs (requires a
+    store with sorted runs); it never changes ordering or strategies, so
+    forcing it off reproduces the identical plan on the tuple path.
     """
     model = CostModel(store)
+    if vectorize and not getattr(store, "supports_sorted_runs", False):
+        vectorize = False
     planned, _estimate, _cost = _plan_node(tree, model, frozenset(), 1.0,
-                                           reorder=True, fixed_strategy=None)
+                                           reorder=True, fixed_strategy=None,
+                                           vectorize=vectorize)
     return planned
 
 
@@ -354,7 +438,8 @@ def _seedable(node):
     return False
 
 
-def _plan_node(node, model, outer, rows, reorder, fixed_strategy):
+def _plan_node(node, model, outer, rows, reorder, fixed_strategy,
+               vectorize=False):
     """Plan one node; returns ``(new_node, estimated_rows, estimated_cost)``."""
     if isinstance(node, algebra.BGP):
         if not node.patterns:
@@ -363,17 +448,18 @@ def _plan_node(node, model, outer, rows, reorder, fixed_strategy):
             node.patterns, node.inline_filters, model,
             outer_bound=outer, initial_rows=rows,
             reorder=reorder, fixed_strategy=fixed_strategy,
+            vectorize=vectorize,
         )
         new = algebra.BGP(ordered, inline_filters=filters, plan=plan)
         return new, plan.estimate, plan.cost
 
     if isinstance(node, algebra.Join):
         left, left_rows, left_cost = _plan_node(
-            node.left, model, outer, rows, reorder, fixed_strategy)
+            node.left, model, outer, rows, reorder, fixed_strategy, vectorize)
         left_vars = {_name(v) for v in node.left.variables()}
         # Hash option: the right side evaluates standalone.
         hash_right, hash_rows, hash_cost_right = _plan_node(
-            node.right, model, outer, 1.0, reorder, fixed_strategy)
+            node.right, model, outer, 1.0, reorder, fixed_strategy, vectorize)
         shared = left_vars & {_name(v) for v in node.right.variables()}
         hash_out = max(left_rows, hash_rows) if shared else left_rows * hash_rows
         hash_cost = left_cost + hash_cost_right + left_rows + hash_rows + hash_out
@@ -381,7 +467,7 @@ def _plan_node(node, model, outer, rows, reorder, fixed_strategy):
             # Bind option: seed the right side with the left rows.
             bind_right, bind_rows, bind_cost_right = _plan_node(
                 node.right, model, outer | left_vars, left_rows,
-                reorder, fixed_strategy)
+                reorder, fixed_strategy, vectorize)
             bind_cost = left_cost + bind_cost_right
             if bind_cost < hash_cost:
                 plan = JoinPlan(BIND_JOIN, left_rows, bind_rows)
@@ -392,24 +478,25 @@ def _plan_node(node, model, outer, rows, reorder, fixed_strategy):
 
     if isinstance(node, algebra.LeftJoin):
         left, left_rows, left_cost = _plan_node(
-            node.left, model, outer, rows, reorder, fixed_strategy)
+            node.left, model, outer, rows, reorder, fixed_strategy, vectorize)
         right, right_rows, right_cost = _plan_node(
-            node.right, model, outer, 1.0, reorder, fixed_strategy)
+            node.right, model, outer, 1.0, reorder, fixed_strategy, vectorize)
         cost = left_cost + right_cost + left_rows + right_rows
         return (algebra.LeftJoin(left, right, node.condition),
                 max(left_rows, 1.0) if left_rows else left_rows, cost)
 
     if isinstance(node, algebra.Union):
         left, left_rows, left_cost = _plan_node(
-            node.left, model, outer, rows, reorder, fixed_strategy)
+            node.left, model, outer, rows, reorder, fixed_strategy, vectorize)
         right, right_rows, right_cost = _plan_node(
-            node.right, model, outer, rows, reorder, fixed_strategy)
+            node.right, model, outer, rows, reorder, fixed_strategy, vectorize)
         return (algebra.Union(left, right),
                 left_rows + right_rows, left_cost + right_cost)
 
     if isinstance(node, algebra.Filter):
         operand, operand_rows, operand_cost = _plan_node(
-            node.operand, model, outer, rows, reorder, fixed_strategy)
+            node.operand, model, outer, rows, reorder, fixed_strategy,
+            vectorize)
         return (algebra.Filter(node.expression, operand),
                 operand_rows * FILTER_SELECTIVITY, operand_cost + operand_rows)
 
@@ -420,7 +507,8 @@ def _plan_node(node, model, outer, rows, reorder, fixed_strategy):
             # no SCAN materializes an intermediate result it will never need.
             fixed_strategy = PROBE
         operand, operand_rows, operand_cost = _plan_node(
-            node.operand, model, outer, rows, reorder, fixed_strategy)
+            node.operand, model, outer, rows, reorder, fixed_strategy,
+            vectorize)
         estimate = operand_rows
         if isinstance(node, algebra.Slice) and node.limit is not None:
             estimate = min(estimate, float(node.limit))
@@ -486,10 +574,14 @@ class ExplainReport:
                     filters = len(node.filters_at(index - 1))
                     filter_note = f" +{filters}filter" if filters else ""
                     actual = "-" if step.actual is None else str(step.actual)
+                    vectorized = (
+                        f" vectorized=yes kernel={step.kernel}"
+                        if step.kernel else " vectorized=no"
+                    )
                     lines.append(
                         f"{pad}  {index}. [{step.strategy:<5}] "
                         f"{step.pattern.n3()}{join}{filter_note} "
-                        f"est={_fmt(step.estimate)} actual={actual}"
+                        f"est={_fmt(step.estimate)} actual={actual}{vectorized}"
                     )
             else:
                 for index, pattern in enumerate(node.patterns, start=1):

@@ -30,6 +30,7 @@ Two access levels are exposed:
 
 from __future__ import annotations
 
+from array import array
 from itertools import islice
 
 from ..rdf.triple import Triple
@@ -39,6 +40,41 @@ from .statistics import StoreStatistics
 
 #: Shared empty set returned for index misses (never mutated).
 _EMPTY = frozenset()
+
+#: Sort orders a predicate run can be materialized in.
+RUN_BY_SUBJECT = "s"
+RUN_BY_OBJECT = "o"
+
+
+class SortedRun:
+    """One predicate's triples as two parallel, key-sorted ``u32`` columns.
+
+    ``keys`` holds the sort column (subjects for order ``"s"``, objects for
+    order ``"o"``) in ascending order with ties broken by ``values``, so a
+    run doubles as a lexicographically sorted ``(key, value)`` pair list —
+    the layout the batch kernels (:mod:`repro.sparql.kernels`) binary-search
+    and merge-join over without materializing any Python tuples.
+
+    ``cache`` is scratch space for kernel-computed views (numpy mirrors,
+    composite keys); it lives and dies with the run, so store mutation
+    invalidating the run also drops every derived view.
+    """
+
+    __slots__ = ("predicate", "order", "keys", "values", "cache")
+
+    def __init__(self, predicate, order, keys, values):
+        self.predicate = predicate
+        self.order = order
+        self.keys = keys
+        self.values = values
+        self.cache = {}
+
+    def __len__(self):
+        return len(self.keys)
+
+    def __repr__(self):
+        return (f"SortedRun(predicate={self.predicate}, order={self.order!r}, "
+                f"len={len(self)})")
 
 
 def _rebuild_index(triples, image):
@@ -74,6 +110,9 @@ class IndexedStore(TripleStore):
     #: Id-level access (``triples_ids`` & friends) is available.
     supports_id_access = True
 
+    #: Predicate-sorted id runs (``sorted_run``) are available.
+    supports_sorted_runs = True
+
     def __init__(self, triples=None):
         self._dictionary = TermDictionary()
         self._spo = set()          # full triples as id 3-tuples
@@ -83,6 +122,7 @@ class IndexedStore(TripleStore):
         self._by_sp = {}
         self._by_po = {}
         self._by_so = {}
+        self._sorted_runs = {}     # (predicate_id, order) -> SortedRun
         self.statistics = StoreStatistics()
         if triples is not None:
             self.load_graph(triples)
@@ -150,6 +190,8 @@ class IndexedStore(TripleStore):
                 else:
                     bucket.add(ids)
             added += 1
+        if added:
+            self._sorted_runs.clear()
         return added
 
     def _recompute_statistics(self):
@@ -200,6 +242,7 @@ class IndexedStore(TripleStore):
         self._by_sp.setdefault((s, p), set()).add(ids)
         self._by_po.setdefault((p, o), set()).add(ids)
         self._by_so.setdefault((s, o), set()).add(ids)
+        self._invalidate_sorted_runs(p)
         self.statistics.observe(triple)
         return True
 
@@ -229,6 +272,7 @@ class IndexedStore(TripleStore):
             bucket.discard(encoded)
             if not bucket:
                 del index[key]
+        self._invalidate_sorted_runs(p)
         self.statistics.forget(triple)
         return True
 
@@ -290,6 +334,48 @@ class IndexedStore(TripleStore):
         if o is not None:
             return self._by_o.get(o, _EMPTY)
         return self._spo
+
+    # -- sorted runs ---------------------------------------------------------
+
+    def sorted_run(self, predicate_id, order=RUN_BY_SUBJECT):
+        """The predicate's triples as a key-sorted :class:`SortedRun`.
+
+        ``order`` selects the sort column: ``"s"`` sorts by subject (values
+        are the objects), ``"o"`` sorts by object (values are the subjects).
+        Runs are built lazily on first request, cached per ``(predicate,
+        order)``, and invalidated by any mutation touching the predicate.
+        Returns ``None`` for a predicate with no triples, so callers can
+        fall back to the tuple path without special-casing empty columns.
+        """
+        if order not in (RUN_BY_SUBJECT, RUN_BY_OBJECT):
+            raise ValueError(f"unknown run order: {order!r}")
+        key = (predicate_id, order)
+        run = self._sorted_runs.get(key)
+        if run is not None:
+            return run
+        bucket = self._by_p.get(predicate_id)
+        if not bucket:
+            return None
+        if order == RUN_BY_SUBJECT:
+            pairs = sorted((s, o) for s, _p, o in bucket)
+        else:
+            pairs = sorted((o, s) for s, _p, o in bucket)
+        keys = array("I", (pair[0] for pair in pairs))
+        values = array("I", (pair[1] for pair in pairs))
+        run = SortedRun(predicate_id, order, keys, values)
+        self._sorted_runs[key] = run
+        return run
+
+    def _install_sorted_runs(self, runs):
+        """Adopt prebuilt runs (snapshot load path, trusted input)."""
+        for run in runs:
+            self._sorted_runs[(run.predicate, run.order)] = run
+
+    def _invalidate_sorted_runs(self, predicate_id):
+        """Drop both cached runs of one predicate after a mutation."""
+        if self._sorted_runs:
+            self._sorted_runs.pop((predicate_id, RUN_BY_SUBJECT), None)
+            self._sorted_runs.pop((predicate_id, RUN_BY_OBJECT), None)
 
     # -- term-level lookup --------------------------------------------------
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import gc
 import json
+import logging
 import os
 import struct
 import sys
@@ -48,8 +49,14 @@ from .statistics import StoreStatistics
 
 MAGIC = b"SP2BSNAP"
 
-#: Bump on any payload layout change; readers reject other versions.
-FORMAT_VERSION = 1
+#: Bump on any payload layout change.  Version 2 appended the sorted-run
+#: section to the indexed payload; version-1 files are still readable (the
+#: runs section is simply absent and runs are rebuilt lazily on demand).
+FORMAT_VERSION = 2
+
+#: Versions this build can read.  Anything else is rejected and callers such
+#: as the dataset cache rebuild from source.
+READ_VERSIONS = (1, 2)
 
 KIND_INDEXED = 1
 KIND_MEMORY = 2
@@ -63,6 +70,12 @@ _U64 = struct.Struct("<Q")
 _TERM_URI = 0
 _TERM_BNODE = 1
 _TERM_LITERAL = 2
+
+_LOG = logging.getLogger(__name__)
+
+#: Set after the first legacy-version load so the lazy-rebuild notice is
+#: logged once per process, not once per cached snapshot.
+_warned_legacy_runs = False
 
 
 class SnapshotError(Exception):
@@ -142,7 +155,7 @@ def load_snapshot(path, expected_kind=None):
     """
     with open(path, "rb") as handle:
         data = handle.read()
-    kind, meta_bytes, payload = _split(path, data, verify=True)
+    version, kind, meta_bytes, payload = _split(path, data, verify=True)
     kind_name = "indexed" if kind == KIND_INDEXED else "memory"
     if expected_kind is not None and expected_kind != kind_name:
         raise SnapshotFormatError(
@@ -157,7 +170,7 @@ def load_snapshot(path, expected_kind=None):
     gc.disable()
     try:
         if kind == KIND_INDEXED:
-            return _unpack_indexed(path, payload)
+            return _unpack_indexed(path, payload, version)
         return _unpack_memory(payload)
     finally:
         if was_enabled:
@@ -188,16 +201,16 @@ def _check_header(path, head):
     if len(head) < _HEADER.size or head[:8] != MAGIC:
         raise SnapshotFormatError(f"{path}: not an SP2Bench snapshot")
     version = _HEADER.unpack(head[: _HEADER.size])[1]
-    if version != FORMAT_VERSION:
+    if version not in READ_VERSIONS:
         raise SnapshotVersionError(
-            f"{path}: snapshot format version {version}, "
-            f"this build reads version {FORMAT_VERSION}"
+            f"{path}: snapshot format version {version}, this build reads "
+            f"versions {', '.join(map(str, READ_VERSIONS))}"
         )
 
 
 def _split(path, data, verify):
     _check_header(path, data[: _HEADER.size])
-    _magic, _version, kind, _flags, meta_len, data_len, crc = _HEADER.unpack(
+    _magic, version, kind, _flags, meta_len, data_len, crc = _HEADER.unpack(
         data[: _HEADER.size]
     )
     if kind not in (KIND_INDEXED, KIND_MEMORY):
@@ -210,7 +223,7 @@ def _split(path, data, verify):
     payload = data[data_start:]
     if verify and zlib.crc32(payload, zlib.crc32(meta_bytes)) != crc:
         raise SnapshotCorruptError(f"{path}: snapshot integrity check failed")
-    return kind, meta_bytes, payload
+    return version, kind, meta_bytes, payload
 
 
 # -- low-level helpers -------------------------------------------------------
@@ -291,6 +304,11 @@ def _append_string(out, text):
 #                rebuild data that lets load skip per-triple index churn
 #   statistics   StoreStatistics in id space (decoded through the dictionary
 #                on load instead of being re-observed per triple)
+#   runs         (version >= 2) predicate-sorted id runs for the batch
+#                kernels: run count, then per run the predicate id, the sort
+#                order tag (0 = by subject, 1 = by object), the length, and
+#                the two u32 columns — absent in version-1 files, in which
+#                case runs are rebuilt lazily on first use
 
 
 def _pack_indexed(store):
@@ -303,10 +321,11 @@ def _pack_indexed(store):
     for arity, index in store._index_table():
         _pack_index_image(out, arity, index, positions)
     _pack_statistics(out, store.statistics, store.dictionary)
+    _pack_sorted_runs(out, store)
     return b"".join(out)
 
 
-def _unpack_indexed(path, payload):
+def _unpack_indexed(path, payload, version=FORMAT_VERSION):
     from .indexed_store import IndexedStore
 
     reader = _Reader(payload)
@@ -317,10 +336,66 @@ def _unpack_indexed(path, payload):
         triples = list(zip(flat, flat, flat))
         images = [_unpack_index_image(reader) for _ in range(6)]
         statistics = _unpack_statistics(reader, terms)
+        runs = _unpack_sorted_runs(reader) if version >= 2 else None
     except SnapshotError as error:
         raise type(error)(f"{path}: {error}") from None
     dictionary = TermDictionary.from_terms(terms)
-    return IndexedStore._from_snapshot(dictionary, triples, images, statistics)
+    store = IndexedStore._from_snapshot(dictionary, triples, images, statistics)
+    if runs is not None:
+        store._install_sorted_runs(runs)
+    else:
+        global _warned_legacy_runs
+        if not _warned_legacy_runs:
+            _warned_legacy_runs = True
+            _LOG.warning(
+                "%s: version-%d snapshot has no sorted-run section; "
+                "predicate runs will be rebuilt lazily (save a new snapshot "
+                "to persist them)", path, version,
+            )
+    return store
+
+
+def _pack_sorted_runs(out, store):
+    """Serialize eagerly built sorted runs for every predicate, both orders.
+
+    Snapshots are the amortized-build artifact of the native engine model, so
+    the runs are materialized here even when the live store never needed
+    them: paying the sort once at save time is what lets every later load
+    start with merge-joinable columns for free.
+    """
+    from .indexed_store import RUN_BY_OBJECT, RUN_BY_SUBJECT
+
+    runs = [
+        run
+        for predicate_id in sorted(store._by_p)
+        for order in (RUN_BY_SUBJECT, RUN_BY_OBJECT)
+        for run in (store.sorted_run(predicate_id, order),)
+        if run is not None
+    ]
+    out.append(_U32.pack(len(runs)))
+    for run in runs:
+        out.append(_U32.pack(run.predicate))
+        out.append(_U8.pack(0 if run.order == RUN_BY_SUBJECT else 1))
+        out.append(_U32.pack(len(run)))
+        out.append(_u32_array(run.keys))
+        out.append(_u32_array(run.values))
+
+
+def _unpack_sorted_runs(reader):
+    from .indexed_store import RUN_BY_OBJECT, RUN_BY_SUBJECT, SortedRun
+
+    runs = []
+    for _ in range(reader.u32()):
+        predicate = reader.u32()
+        order_tag = reader.u8()
+        if order_tag not in (0, 1):
+            raise SnapshotFormatError(f"unknown sorted-run order tag {order_tag}")
+        length = reader.u32()
+        keys = reader.u32_array(length)
+        values = reader.u32_array(length)
+        order = RUN_BY_SUBJECT if order_tag == 0 else RUN_BY_OBJECT
+        runs.append(SortedRun(predicate, order, keys, values))
+    return runs
 
 
 def _pack_dictionary(out, dictionary):

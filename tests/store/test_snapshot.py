@@ -19,6 +19,7 @@ from repro.store import (
     read_snapshot_metadata,
     save_snapshot,
 )
+from repro.store.indexed_store import RUN_BY_OBJECT, RUN_BY_SUBJECT
 
 EX = "http://example.org/"
 XSD_INT = "http://www.w3.org/2001/XMLSchema#integer"
@@ -217,3 +218,89 @@ class TestQueriesOnLoadedStores:
         MemoryStore(sample_graph).save(path)
         loaded = MemoryStore.load(path)
         assert set(loaded.triples()) == set(Graph(sample_graph))
+
+
+class TestSortedRunSection:
+    """The version-2 sorted-run section and graceful version-1 loads."""
+
+    def _save_v1(self, store, path, monkeypatch):
+        """Write a true version-1 file: no runs section, version header 1."""
+        from repro.store import snapshot as snapshot_module
+
+        monkeypatch.setattr(snapshot_module, "FORMAT_VERSION", 1)
+        monkeypatch.setattr(
+            snapshot_module, "_pack_sorted_runs", lambda out, store: None
+        )
+        save_snapshot(store, path)
+
+    def test_runs_round_trip_verbatim(self, tmp_path):
+        store = IndexedStore(sample_triples())
+        path = tmp_path / "runs.sp2b"
+        save_snapshot(store, path)
+        loaded = load_snapshot(path)
+        for predicate_id in store._by_p:
+            for order in (RUN_BY_SUBJECT, RUN_BY_OBJECT):
+                fresh = store.sorted_run(predicate_id, order)
+                # Loaded runs come straight from the snapshot section.
+                adopted = loaded._sorted_runs[(predicate_id, order)]
+                assert adopted.keys == fresh.keys
+                assert adopted.values == fresh.values
+                assert adopted.order == order
+                assert adopted.predicate == predicate_id
+
+    def test_save_materializes_runs_eagerly(self, tmp_path):
+        store = IndexedStore(sample_triples())
+        assert not store._sorted_runs
+        path = tmp_path / "eager.sp2b"
+        save_snapshot(store, path)
+        loaded = load_snapshot(path)
+        # Both orders of every predicate are present without any lazy build.
+        assert len(loaded._sorted_runs) == 2 * len(store._by_p)
+
+    def test_legacy_v1_loads_and_rebuilds_lazily(self, tmp_path, monkeypatch):
+        from repro.store import snapshot as snapshot_module
+
+        store = IndexedStore(sample_triples())
+        path = tmp_path / "legacy.sp2b"
+        self._save_v1(store, path, monkeypatch)
+        assert struct.unpack_from("<H", path.read_bytes(), 8)[0] == 1
+        loaded = load_snapshot(path)
+        assert not loaded._sorted_runs
+        for predicate_id in store._by_p:
+            fresh = store.sorted_run(predicate_id, RUN_BY_SUBJECT)
+            rebuilt = loaded.sorted_run(predicate_id, RUN_BY_SUBJECT)
+            assert rebuilt.keys == fresh.keys
+            assert rebuilt.values == fresh.values
+        assert snapshot_module.READ_VERSIONS == (1, 2)
+
+    def test_legacy_warning_logged_once(self, tmp_path, monkeypatch, caplog):
+        from repro.store import snapshot as snapshot_module
+
+        store = IndexedStore(sample_triples())
+        path = tmp_path / "legacy.sp2b"
+        self._save_v1(store, path, monkeypatch)
+        monkeypatch.setattr(snapshot_module, "_warned_legacy_runs", False)
+        with caplog.at_level("WARNING", logger=snapshot_module.__name__):
+            load_snapshot(path)
+            load_snapshot(path)
+        notices = [
+            record for record in caplog.records
+            if "sorted-run" in record.getMessage()
+        ]
+        assert len(notices) == 1
+
+    def test_vectorized_queries_on_loaded_runs(self, tmp_path, generated_graph_small):
+        fresh = IndexedStore(generated_graph_small)
+        path = tmp_path / "vec.sp2b"
+        save_snapshot(fresh, path)
+        loaded = load_snapshot(path)
+        loaded_engine = SparqlEngine(NATIVE_COST, store=loaded)
+        fresh_engine = SparqlEngine(NATIVE_COST, store=fresh)
+        for query_id in ("Q2", "Q4", "Q6", "Q9"):
+            text = get_query(query_id).text
+            fresh_result = fresh_engine.query(text)
+            loaded_result = loaded_engine.query(text)
+            if fresh_result.form == "SELECT":
+                assert fresh_result.as_multiset() == loaded_result.as_multiset()
+            else:
+                assert bool(fresh_result) == bool(loaded_result)

@@ -18,12 +18,14 @@ def write_baseline(path, means):
     path.write_text(json.dumps({"estimator": "min", "means": means}))
 
 
-def write_results(path, means):
-    path.write_text(json.dumps({
-        "benchmarks": [
-            {"name": name, "stats": {"mean": mean}} for name, mean in means.items()
-        ]
-    }))
+def write_results(path, means, vectorized=None):
+    entries = []
+    for name, mean in means.items():
+        entry = {"name": name, "stats": {"mean": mean}}
+        if vectorized and name in vectorized:
+            entry["extra_info"] = {"vectorized": vectorized[name]}
+        entries.append(entry)
+    path.write_text(json.dumps({"benchmarks": entries}))
 
 
 @pytest.fixture()
@@ -106,9 +108,36 @@ class TestStepSummary:
         ]) == 0
         text = summary.read_text()
         assert "### Benchmark regression gate" in text
-        assert "| Benchmark | Baseline | Current | Ratio | Verdict |" in text
+        assert ("| Benchmark | Baseline | Current | Ratio | Vectorized "
+                "| Verdict |") in text
         assert "`test_catalog_query[Q1]`" in text
         assert "no regressions" in text
+        capsys.readouterr()
+
+    def test_vectorized_flags_marked_in_summary(self, files, tmp_path, capsys):
+        baseline, results = files
+        write_baseline(baseline, {"test_catalog_query[Q1]": 0.010,
+                                  "test_catalog_query[Q2]": 0.020,
+                                  "test_other": 0.030})
+        write_results(results,
+                      {"test_catalog_query[Q1]": 0.010,
+                       "test_catalog_query[Q2]": 0.020,
+                       "test_other": 0.030},
+                      vectorized={"test_catalog_query[Q1]": False,
+                                  "test_catalog_query[Q2]": True})
+        summary = tmp_path / "summary.md"
+        assert compare_benchmarks.main([
+            str(baseline), str(results), "--step-summary", str(summary),
+        ]) == 0
+        rows = {
+            line.split("|")[1].strip(" `"): line
+            for line in summary.read_text().splitlines()
+            if line.startswith("| `")
+        }
+        assert "⚡ yes" in rows["test_catalog_query[Q2]"]
+        assert "| no |" in rows["test_catalog_query[Q1]"]
+        # No recorded flag renders as a dash, not a misleading "no".
+        assert "—" in rows["test_other"]
         capsys.readouterr()
 
     def test_summary_written_even_when_gate_fails(self, files, tmp_path, capsys):

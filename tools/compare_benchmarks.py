@@ -76,6 +76,24 @@ def load_results(path):
     return means
 
 
+def load_vectorized_flags(path):
+    """Per-benchmark ``vectorized`` extra-info flags from a results file.
+
+    The catalog-regression bench records whether each query's plan carried
+    batch kernels (``benchmark.extra_info["vectorized"]``); benchmarks that
+    never recorded the flag are simply absent from the mapping.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    flags = {}
+    for bench in data.get("benchmarks", ()):
+        name = bench.get("name")
+        info = bench.get("extra_info") or {}
+        if name and "vectorized" in info:
+            flags[name] = bool(info["vectorized"])
+    return flags
+
+
 def geometric_mean(values):
     values = [max(value, 1e-9) for value in values]
     return math.exp(sum(math.log(value) for value in values) / len(values))
@@ -169,13 +187,16 @@ _VERDICT_BADGES = {
 }
 
 
-def step_summary_markdown(rows, threshold, regression_count):
+def step_summary_markdown(rows, threshold, regression_count, vectorized=None):
     """The per-query regression table as GitHub-flavoured markdown.
 
     Written to ``$GITHUB_STEP_SUMMARY`` by ``--step-summary`` so pull
     requests show baseline-versus-current timings, the normalized ratio, and
     the gate verdict without anyone downloading the results artifact.
+    ``vectorized`` maps benchmark names to whether their plan carried batch
+    kernels; queries without a recorded flag show a dash.
     """
+    vectorized = vectorized or {}
     lines = ["### Benchmark regression gate", ""]
     if not rows:
         lines.append("No shared benchmarks between baseline and current run.")
@@ -191,15 +212,19 @@ def step_summary_markdown(rows, threshold, regression_count):
         f"{len(rows)} shared benchmark(s)."
     )
     lines.append("")
-    lines.append("| Benchmark | Baseline | Current | Ratio | Verdict |")
-    lines.append("|:--|--:|--:|--:|:--|")
+    lines.append(
+        "| Benchmark | Baseline | Current | Ratio | Vectorized | Verdict |"
+    )
+    lines.append("|:--|--:|--:|--:|:--:|:--|")
     # Worst offenders first so a failing gate explains itself above the fold.
     for name, base, curr, ratio, _gated, verdict in sorted(
         rows, key=lambda row: (row[5] != REGRESSION, -row[3])
     ):
+        flag = vectorized.get(name)
+        kernel_badge = "—" if flag is None else ("⚡ yes" if flag else "no")
         lines.append(
             f"| `{name}` | {base * 1e3:.3f} ms | {curr * 1e3:.3f} ms "
-            f"| {ratio:.2f} | {_VERDICT_BADGES[verdict]} |"
+            f"| {ratio:.2f} | {kernel_badge} | {_VERDICT_BADGES[verdict]} |"
         )
     lines.append("")
     return "\n".join(lines)
@@ -262,7 +287,8 @@ def main(argv=None):
             # exactly when the table must be visible on the PR.
             with open(summary_path, "a", encoding="utf-8") as handle:
                 handle.write(step_summary_markdown(
-                    rows, args.threshold, len(regressions)
+                    rows, args.threshold, len(regressions),
+                    vectorized=load_vectorized_flags(args.results),
                 ))
                 handle.write("\n")
         else:
