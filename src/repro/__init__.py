@@ -47,9 +47,12 @@ from .sparql import (
     QueryTimeout,
     SelectCursor,
     SparqlEngine,
+    UpdateResult,
     parse_query,
+    parse_update,
 )
 from .server import SparqlServer
+from .store import MvccStore, read_snapshot
 
 __version__ = "1.0.0"
 
@@ -80,6 +83,10 @@ __all__ = [
     "Deadline",
     "QueryTimeout",
     "parse_query",
+    "parse_update",
+    "UpdateResult",
+    "MvccStore",
+    "read_snapshot",
     "ENGINE_PRESETS",
     "IN_MEMORY_BASELINE",
     "IN_MEMORY_OPTIMIZED",

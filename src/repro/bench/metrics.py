@@ -16,6 +16,7 @@ runner/harness and reported directly.
 
 from __future__ import annotations
 
+import json
 import math
 from dataclasses import dataclass
 from typing import Optional as Opt
@@ -25,6 +26,17 @@ SUCCESS = "success"
 TIMEOUT = "timeout"
 MEMORY = "memory"
 ERROR = "error"
+
+#: Workload-only outcome codes (mixed read/write serving runs).
+#: ``rejected``: the server refused the operation by policy (403 read-only
+#: mode, 405 wrong method) — a distinct outcome, not a client/server fault.
+#: ``overload``: the server shed load (429, or a 503 that does not carry the
+#: structured ``timeout`` error code).
+#: ``torn``: a reader observed a half-applied write — the snapshot-isolation
+#: violation the mixed workload's canary probe exists to detect.
+REJECTED = "rejected"
+OVERLOAD = "overload"
+TORN = "torn"
 
 _SHORTCUTS = {SUCCESS: "+", TIMEOUT: "T", MEMORY: "M", ERROR: "E"}
 
@@ -93,6 +105,37 @@ def percentile(values, fraction):
     upper = min(lower + 1, len(values) - 1)
     weight = position - lower
     return values[lower] * (1.0 - weight) + values[upper] * weight
+
+
+def classify_http_status(status, body=None):
+    """Map one HTTP response onto a workload outcome code.
+
+    ``body`` (bytes or str, optional) disambiguates 503: the SPARQL
+    Protocol server returns 503 both for an expired per-query deadline
+    (structured payload with error code ``timeout``) and — like any proxy
+    or gateway in front of it — for plain overload.  Only the former is a
+    :data:`TIMEOUT`; a 503 without the timeout code is :data:`OVERLOAD`.
+    Policy refusals (403 read-only mode, 405 method not allowed) are
+    :data:`REJECTED`, 429 is :data:`OVERLOAD`, anything else non-2xx is an
+    :data:`ERROR`.
+    """
+    if 200 <= status < 300:
+        return SUCCESS
+    if status in (403, 405):
+        return REJECTED
+    if status == 429:
+        return OVERLOAD
+    if status == 503:
+        if body is not None:
+            if isinstance(body, bytes):
+                body = body.decode("utf-8", errors="replace")
+            try:
+                code = json.loads(body).get("error", {}).get("code")
+            except (ValueError, AttributeError):
+                code = None
+            return TIMEOUT if code == TIMEOUT else OVERLOAD
+        return TIMEOUT
+    return ERROR
 
 
 def penalized_times(measurements, penalty=PAPER_PENALTY_SECONDS):

@@ -130,20 +130,30 @@ def workload_table(report):
     """
     headers = ["query", "count", "ok", "timeout", "error", "QpS",
                "p50 [ms]", "p95 [ms]", "p99 [ms]"]
+    # Mixed read/write runs carry extra outcome classes; the columns appear
+    # only when such records exist, so read-only tables keep their shape.
+    extra = [status for status in ("rejected", "torn", "overload")
+             if report.count(status)]
+    headers[5:5] = extra
 
     def row(label, query_id):
         tails = report.percentiles(query_id=query_id)
-        return [
+        cells = [
             label,
             report.count(query_id=query_id),
             report.count("success", query_id=query_id),
             report.count("timeout", query_id=query_id),
             report.count("error", query_id=query_id),
+        ]
+        cells.extend(report.count(status, query_id=query_id)
+                     for status in extra)
+        cells.extend([
             f"{report.qps(query_id=query_id):.1f}",
             f"{tails['p50'] * 1e3:.2f}",
             f"{tails['p95'] * 1e3:.2f}",
             f"{tails['p99'] * 1e3:.2f}",
-        ]
+        ])
+        return cells
 
     rows = [row(query_id, query_id) for query_id in report.query_ids()]
     rows.append(row("overall", None))
@@ -151,13 +161,26 @@ def workload_table(report):
 
 
 def workload_summary(report):
-    """One-line outcome of a workload run (the loadtest header line)."""
-    return (
+    """One-line outcome of a workload run (the loadtest header line).
+
+    Mixed read/write runs additionally report the rejected/torn counts and
+    the reader/writer QpS split.
+    """
+    line = (
         f"{report.clients} client(s), {report.mode} mode, "
         f"{report.elapsed:.1f}s window: {report.total} requests, "
         f"{report.successes} ok / {report.timeouts} timeout / "
-        f"{report.errors} error, {report.qps():.1f} QpS sustained"
+        f"{report.errors} error"
     )
+    if report.rejected:
+        line += f" / {report.rejected} rejected"
+    if report.torn:
+        line += f" / {report.torn} TORN"
+    line += f", {report.qps():.1f} QpS sustained"
+    if report.write_count():
+        line += (f" ({report.read_qps():.1f} read / "
+                 f"{report.write_qps():.1f} write)")
+    return line
 
 
 def full_report(report):

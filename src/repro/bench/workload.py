@@ -30,6 +30,7 @@ loaded exactly once, as a shared-memory server would.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import threading
 import time
@@ -43,7 +44,15 @@ from urllib.parse import urlsplit
 from ..queries.catalog import get_query
 from ..sparql.cursor import Deadline
 from ..sparql.errors import QueryTimeout, SparqlError
-from .metrics import ERROR, SUCCESS, TIMEOUT, percentile
+from .metrics import (
+    ERROR,
+    REJECTED,
+    SUCCESS,
+    TIMEOUT,
+    TORN,
+    classify_http_status,
+    percentile,
+)
 
 #: Default query mix (weights, not probabilities): mostly cheap lookups and
 #: selections, some mid-weight joins and windows, a thin heavy tail — the
@@ -62,6 +71,49 @@ DEFAULT_MIX_WEIGHTS = {
 
 #: Tail-latency fractions every report includes.
 REPORT_PERCENTILES = (0.50, 0.95, 0.99)
+
+#: Record-id prefix marking write operations in mixed read/write runs.
+WRITE_ID_PREFIX = "U:"
+
+#: Record ids used by the mixed workload's update operations and probe.
+INSERT_ID = "U:insert"
+DELETE_ID = "U:delete"
+CANARY_PROBE_ID = "Q:canary"
+
+#: The canary vocabulary: every insert writes an atomic *pair* of triples
+#: (same subject, same value under both predicates), so any reader snapshot
+#: must see either both halves or neither.  Dedicated URIs, disjoint from
+#: the benchmark vocabulary, keep the canary churn out of the catalog
+#: queries' statistics.
+CANARY_NS = "http://localhost/canary/"
+CANARY_LEFT = "http://localhost/vocabulary/canary#left"
+CANARY_RIGHT = "http://localhost/vocabulary/canary#right"
+
+#: Deletes every *complete* canary pair (a torn remnant would not match and
+#: stays behind for the probe to catch).  Bounds canary growth.
+CANARY_DELETE_TEXT = (
+    f"DELETE WHERE {{ ?s <{CANARY_LEFT}> ?l . ?s <{CANARY_RIGHT}> ?r . }}"
+)
+
+#: Sees every canary half, paired with its sibling when present: a result
+#: row with an unbound ?l or ?r is a torn write.
+CANARY_PROBE_TEXT = f"""
+SELECT ?s ?l ?r WHERE {{
+  {{ ?s <{CANARY_LEFT}> ?l . OPTIONAL {{ ?s <{CANARY_RIGHT}> ?r }} }}
+  UNION
+  {{ ?s <{CANARY_RIGHT}> ?r . OPTIONAL {{ ?s <{CANARY_LEFT}> ?l }} }}
+}}
+"""
+
+
+def canary_insert_text(token):
+    """The INSERT DATA operation writing one atomic canary pair."""
+    subject = f"<{CANARY_NS}c{token:012x}>"
+    value = f'"{token}"'
+    return (
+        f"INSERT DATA {{ {subject} <{CANARY_LEFT}> {value} . "
+        f"{subject} <{CANARY_RIGHT}> {value} . }}"
+    )
 
 
 class WorkloadMix:
@@ -116,6 +168,48 @@ class WorkloadMix:
         return f"WorkloadMix({parts})"
 
 
+class MixedWorkloadMix:
+    """A read mix with an interleaved stream of update operations.
+
+    ``update_fraction`` of the chosen operations are writes (split evenly
+    between canary-pair inserts and pair deletes); ``canary_fraction`` are
+    canary probe reads that verify snapshot isolation (a probe observing a
+    half-written pair is recorded as :data:`~repro.bench.metrics.TORN`);
+    everything else comes from the wrapped read mix.  Insert texts embed a
+    token drawn from the caller's random stream, so each insert writes a
+    distinct pair and runs stay seed-reproducible.
+    """
+
+    def __init__(self, read_mix=None, update_fraction=0.1,
+                 canary_fraction=0.15):
+        if not 0.0 <= update_fraction < 1.0:
+            raise ValueError("update_fraction must be in [0, 1)")
+        if canary_fraction < 0 or update_fraction + canary_fraction >= 1.0:
+            raise ValueError("update_fraction + canary_fraction must be < 1")
+        self.read_mix = read_mix or WorkloadMix.from_catalog()
+        self.update_fraction = update_fraction
+        self.canary_fraction = canary_fraction
+
+    def query_ids(self):
+        return self.read_mix.query_ids() + [CANARY_PROBE_ID, INSERT_ID,
+                                            DELETE_ID]
+
+    def choose(self, rng):
+        """Pick one ``(operation id, text)``."""
+        roll = rng.random()
+        if roll < self.update_fraction:
+            if rng.random() < 0.5:
+                return INSERT_ID, canary_insert_text(rng.getrandbits(48))
+            return DELETE_ID, CANARY_DELETE_TEXT
+        if roll < self.update_fraction + self.canary_fraction:
+            return CANARY_PROBE_ID, CANARY_PROBE_TEXT
+        return self.read_mix.choose(rng)
+
+    def __repr__(self):
+        return (f"MixedWorkloadMix(updates={self.update_fraction:g}, "
+                f"canary={self.canary_fraction:g}, reads={self.read_mix!r})")
+
+
 # -- execution targets --------------------------------------------------------
 
 
@@ -159,9 +253,10 @@ class HttpWorkloadClient:
 
     Holds one persistent connection (re-established after network errors),
     POSTs the query as ``application/sparql-query``, and classifies the
-    response: 2xx is a success, 503 is a timeout (the server's mapping of
-    an expired deadline), anything else — including transport failures — is
-    an error.
+    response via :func:`~repro.bench.metrics.classify_http_status`: 2xx is
+    a success, a 503 carrying the structured ``timeout`` error code is a
+    timeout, a plain 503/429 is overload, 403/405 is a policy rejection,
+    anything else — including transport failures — is an error.
     """
 
     def __init__(self, url, timeout=None, format="json"):
@@ -205,13 +300,8 @@ class HttpWorkloadClient:
                 },
             )
             response = connection.getresponse()
-            response.read()
-            if 200 <= response.status < 300:
-                status = SUCCESS
-            elif response.status == 503:
-                status = TIMEOUT
-            else:
-                status = ERROR
+            body = response.read()
+            status = classify_http_status(response.status, body)
         except Exception:  # noqa: BLE001 - transport failure = error record
             status = ERROR
             self.close()
@@ -221,6 +311,116 @@ class HttpWorkloadClient:
         if self._connection is not None:
             self._connection.close()
             self._connection = None
+
+
+# -- mixed read/write targets -------------------------------------------------
+
+
+def _canary_rows_torn(rows):
+    """Whether any probe row misses one half of its canary pair.
+
+    ``rows`` yields ``(left, right)`` value pairs with ``None`` for an
+    unbound half.  Under snapshot isolation both halves of a pair are
+    published atomically, so a half-bound row is a torn write.
+    """
+    return any(left is None or right is None for left, right in rows)
+
+
+class MixedEngineWorkloadClient(EngineWorkloadClient):
+    """Engine client that additionally executes updates and canary probes.
+
+    Updates go through ``engine.update`` (one MVCC transaction each); the
+    canary probe inspects its own result rows and classifies a half-visible
+    pair as :data:`~repro.bench.metrics.TORN`.
+    """
+
+    def execute(self, query_id, text):
+        if not query_id.startswith(WRITE_ID_PREFIX) and \
+                query_id != CANARY_PROBE_ID:
+            return super().execute(query_id, text)
+        start = time.perf_counter()
+        try:
+            if query_id.startswith(WRITE_ID_PREFIX):
+                self.engine.update(text)
+                status = SUCCESS
+            else:
+                prepared = self.engine.prepare_cached(text)
+                deadline = (None if self.timeout is None
+                            else Deadline(self.timeout))
+                with prepared.run(deadline=deadline) as cursor:
+                    rows = ((binding.get("l"), binding.get("r"))
+                            for binding in cursor)
+                    status = TORN if _canary_rows_torn(rows) else SUCCESS
+        except QueryTimeout:
+            status = TIMEOUT
+        except Exception:  # noqa: BLE001 - the load loop must survive anything
+            status = ERROR
+        return query_id, status, time.perf_counter() - start
+
+
+class MixedHttpWorkloadClient(HttpWorkloadClient):
+    """HTTP client that additionally POSTs updates and runs canary probes.
+
+    Updates POST to the server's ``/update`` endpoint as
+    ``application/sparql-update``; a 403 from a read-only deployment is a
+    :data:`~repro.bench.metrics.REJECTED` record, not an error.  The canary
+    probe requests JSON results and inspects the bindings for half-visible
+    pairs.
+    """
+
+    def __init__(self, url, timeout=None, format="json"):
+        super().__init__(url, timeout=timeout, format=format)
+        from ..server.protocol import UPDATE_PATH
+
+        self.update_path = UPDATE_PATH
+
+    def execute(self, query_id, text):
+        if query_id.startswith(WRITE_ID_PREFIX):
+            return self._execute_update(query_id, text)
+        if query_id == CANARY_PROBE_ID:
+            return self._execute_probe(query_id, text)
+        return super().execute(query_id, text)
+
+    def _execute_update(self, query_id, text):
+        start = time.perf_counter()
+        try:
+            connection = self._connect()
+            connection.request(
+                "POST", self.update_path, body=text.encode("utf-8"),
+                headers={"Content-Type": "application/sparql-update"},
+            )
+            response = connection.getresponse()
+            body = response.read()
+            status = classify_http_status(response.status, body)
+        except Exception:  # noqa: BLE001 - transport failure = error record
+            status = ERROR
+            self.close()
+        return query_id, status, time.perf_counter() - start
+
+    def _execute_probe(self, query_id, text):
+        start = time.perf_counter()
+        try:
+            connection = self._connect()
+            connection.request(
+                "POST", self.path, body=text.encode("utf-8"),
+                headers={
+                    "Content-Type": "application/sparql-query",
+                    "Accept": "application/sparql-results+json",
+                },
+            )
+            response = connection.getresponse()
+            body = response.read()
+            status = classify_http_status(response.status, body)
+            if status == SUCCESS:
+                bindings = json.loads(body)["results"]["bindings"]
+                rows = ((entry.get("l"), entry.get("r"))
+                        for entry in bindings)
+                if _canary_rows_torn(rows):
+                    status = TORN
+        except Exception:  # noqa: BLE001 - transport failure = error record
+            status = ERROR
+            self.close()
+        return query_id, status, time.perf_counter() - start
 
 
 # -- the closed loop ----------------------------------------------------------
@@ -283,6 +483,31 @@ class WorkloadReport:
         return self.count(ERROR)
 
     @property
+    def rejected(self):
+        return self.count(REJECTED)
+
+    @property
+    def torn(self):
+        """Snapshot-isolation violations observed by the canary probe."""
+        return self.count(TORN)
+
+    def write_count(self, status=None):
+        """Records of update operations (ids prefixed ``U:``)."""
+        return sum(
+            1 for record_id, record_status, _seconds in self.records
+            if record_id.startswith(WRITE_ID_PREFIX)
+            and (status is None or record_status == status)
+        )
+
+    def read_count(self, status=None):
+        """Records of read operations (everything that is not an update)."""
+        return sum(
+            1 for record_id, record_status, _seconds in self.records
+            if not record_id.startswith(WRITE_ID_PREFIX)
+            and (status is None or record_status == status)
+        )
+
+    @property
     def elapsed(self):
         """The measurement window: first client start to last client end."""
         if not self.spans:
@@ -297,6 +522,16 @@ class WorkloadReport:
         if window <= 0:
             return 0.0
         return self.count(SUCCESS, query_id=query_id) / window
+
+    def read_qps(self):
+        """Sustained successful read operations per second."""
+        window = self.elapsed
+        return self.read_count(SUCCESS) / window if window > 0 else 0.0
+
+    def write_qps(self):
+        """Sustained successful (committed) update operations per second."""
+        window = self.elapsed
+        return self.write_count(SUCCESS) / window if window > 0 else 0.0
 
     def latencies(self, query_id=None, status=SUCCESS):
         return [
@@ -329,6 +564,8 @@ class WorkloadReport:
                 "success": self.count(SUCCESS, query_id=identifier),
                 "timeout": self.count(TIMEOUT, query_id=identifier),
                 "error": self.count(ERROR, query_id=identifier),
+                "rejected": self.count(REJECTED, query_id=identifier),
+                "torn": self.count(TORN, query_id=identifier),
                 "qps": self.qps(query_id=identifier),
                 **self.percentiles(query_id=identifier),
             }
@@ -341,7 +578,13 @@ class WorkloadReport:
             "success": self.successes,
             "timeout": self.timeouts,
             "error": self.errors,
+            "rejected": self.rejected,
+            "torn": self.torn,
             "qps": self.qps(),
+            "reads": self.read_count(),
+            "writes": self.write_count(),
+            "read_qps": self.read_qps(),
+            "write_qps": self.write_qps(),
             **self.percentiles(),
             "per_query": per_query,
         }
@@ -509,3 +752,41 @@ def run_http_workload(url, mix=None, clients=4, duration=5.0, mode="thread",
         lambda: HttpWorkloadClient(url, timeout=timeout),
         mix, clients=clients, duration=duration, mode=mode, seed=seed,
     )
+
+
+def run_mixed_engine_workload(engine, mix=None, update_fraction=0.1,
+                              clients=4, duration=5.0, timeout=None, seed=97):
+    """Closed-loop mixed read/write workload directly against an engine.
+
+    The engine's store is wrapped in an :class:`~repro.store.MvccStore`
+    when it is not one already — concurrent clients then commit updates
+    through the serialized writer while readers stay on pinned snapshots.
+    Thread mode only: forked processes would each write a private
+    copy-on-write store, so updates would never be visible across clients.
+    """
+    from ..store.mvcc import MvccStore
+
+    if not hasattr(engine.store, "write_transaction"):
+        engine.store = MvccStore(engine.store)
+    mix = _as_mixed(mix, update_fraction)
+    return run_workload(
+        lambda: MixedEngineWorkloadClient(engine, timeout=timeout),
+        mix, clients=clients, duration=duration, mode="thread", seed=seed,
+    )
+
+
+def run_mixed_http_workload(url, mix=None, update_fraction=0.1, clients=4,
+                            duration=5.0, mode="thread", timeout=None,
+                            seed=97):
+    """Closed-loop mixed read/write workload against a running endpoint."""
+    mix = _as_mixed(mix, update_fraction)
+    return run_workload(
+        lambda: MixedHttpWorkloadClient(url, timeout=timeout),
+        mix, clients=clients, duration=duration, mode=mode, seed=seed,
+    )
+
+
+def _as_mixed(mix, update_fraction):
+    if isinstance(mix, MixedWorkloadMix):
+        return mix
+    return MixedWorkloadMix(mix, update_fraction=update_fraction)

@@ -47,6 +47,8 @@ from .bench.workload import (
     process_mode_available,
     run_engine_workload,
     run_http_workload,
+    run_mixed_engine_workload,
+    run_mixed_http_workload,
 )
 from .cache import DatasetCache, combined_cache_key, dataset_key, default_cache_dir
 from .generator.config import GeneratorConfig
@@ -363,9 +365,12 @@ def _print_table(label, cursor, limit, start):
 def serve_main(argv=None):
     """Entry point of ``repro serve``: the SPARQL Protocol endpoint.
 
-    Loads a document (or, much faster, a ``.sp2b`` snapshot) once into a
-    read-only store and serves ``GET/POST /sparql`` on a thread worker
-    pool until interrupted.  ``/health`` reports readiness.
+    Loads a document (or, much faster, a ``.sp2b`` snapshot) once and
+    serves ``GET/POST /sparql`` plus ``POST /update`` on a thread worker
+    pool until interrupted.  By default the store is wrapped in an MVCC
+    facade so updates commit as atomically-published snapshots while
+    readers keep their pinned generation; ``--read-only`` rejects updates
+    with 403 instead.  ``/health`` reports readiness.
     """
     parser = argparse.ArgumentParser(
         description="Serve a document over the W3C SPARQL Protocol."
@@ -389,14 +394,22 @@ def serve_main(argv=None):
     parser.add_argument("--max-timeout", type=float, default=None,
                         help="cap on client-requested timeouts "
                              "(default: the --timeout value)")
+    parser.add_argument("--read-only", action="store_true",
+                        help="reject POST /update with 403 instead of "
+                             "serving writes")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request access logging")
     args = parser.parse_args(argv)
 
     from .server import SparqlServer
+    from .store import MvccStore
 
     start = time.perf_counter()
     engine = _build_engine(args.document, args.engine)
+    if not args.read_only:
+        # Writable serving: snapshot-isolate the store so updates publish
+        # atomically under concurrent readers.
+        engine.store = MvccStore(engine.store)
     elapsed = time.perf_counter() - start
     server = SparqlServer(
         engine,
@@ -406,12 +419,15 @@ def serve_main(argv=None):
         default_timeout=args.timeout,
         max_timeout=args.max_timeout,
         verbose=not args.quiet,
+        read_only=args.read_only,
     )
     print(f"loaded {len(engine.store)} triples in {elapsed:.2f}s "
           f"({engine.config.name} engine)")
-    print(f"serving SPARQL Protocol at {server.url} "
+    mode = "read-only" if args.read_only else "read/write"
+    print(f"serving SPARQL Protocol ({mode}) at {server.url} "
           f"({args.workers} workers, {args.timeout:g}s default timeout); "
-          f"health at {server.health_url}", flush=True)
+          f"updates at {server.update_url}; health at {server.health_url}",
+          flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -469,11 +485,15 @@ def loadtest_main(argv=None):
                         help="engine preset for in-process runs")
     parser.add_argument("--seed", type=int, default=97,
                         help="base seed of the per-client query streams")
+    parser.add_argument("--update-fraction", type=float, default=0.0,
+                        help="fraction of operations that are SPARQL updates "
+                             "(mixed read/write mode with canary torn-write "
+                             "detection; default: 0 = read-only)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of a table")
     parser.add_argument("--fail-on-error", action="store_true",
                         help="exit non-zero when any request is classified "
-                             "as an error (non-2xx and non-timeout)")
+                             "as an error or a torn read")
     args = parser.parse_args(argv)
 
     mix = _parse_mix(args.mix, args.queries)
@@ -482,17 +502,39 @@ def loadtest_main(argv=None):
         print("process mode unavailable (no fork); falling back to threads",
               file=sys.stderr)
         mode = "thread"
+    mixed = args.update_fraction > 0
     if args.url:
-        report = run_http_workload(
-            args.url, mix=mix, clients=args.clients, duration=args.duration,
-            mode=mode, timeout=args.timeout, seed=args.seed,
-        )
+        if mixed:
+            report = run_mixed_http_workload(
+                args.url, mix=mix, update_fraction=args.update_fraction,
+                clients=args.clients, duration=args.duration, mode=mode,
+                timeout=args.timeout, seed=args.seed,
+            )
+        else:
+            report = run_http_workload(
+                args.url, mix=mix, clients=args.clients,
+                duration=args.duration, mode=mode, timeout=args.timeout,
+                seed=args.seed,
+            )
     else:
         engine = _build_engine(args.document, args.engine)
-        report = run_engine_workload(
-            engine, mix=mix, clients=args.clients, duration=args.duration,
-            mode=mode, timeout=args.timeout, seed=args.seed,
-        )
+        if mixed:
+            # In-process mixed runs are thread-only: forked processes would
+            # write into private copy-on-write stores.
+            if args.mode == "process":
+                print("mixed read/write mode is thread-only in-process; "
+                      "using threads", file=sys.stderr)
+            report = run_mixed_engine_workload(
+                engine, mix=mix, update_fraction=args.update_fraction,
+                clients=args.clients, duration=args.duration,
+                timeout=args.timeout, seed=args.seed,
+            )
+        else:
+            report = run_engine_workload(
+                engine, mix=mix, clients=args.clients,
+                duration=args.duration, mode=mode, timeout=args.timeout,
+                seed=args.seed,
+            )
 
     if args.json:
         json.dump(report.as_dict(), sys.stdout, indent=2)
@@ -500,9 +542,9 @@ def loadtest_main(argv=None):
     else:
         print(reporting.workload_summary(report))
         print(reporting.workload_table(report))
-    if args.fail_on_error and report.errors:
+    if args.fail_on_error and (report.errors or report.torn):
         print(f"loadtest failed: {report.errors} request(s) classified as "
-              f"errors", file=sys.stderr)
+              f"errors, {report.torn} torn read(s)", file=sys.stderr)
         return 1
     return 0
 

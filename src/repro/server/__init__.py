@@ -1,8 +1,9 @@
 """Serving subsystem: the W3C SPARQL Protocol over HTTP.
 
 ``GET/POST /sparql`` with content negotiation onto the four W3C result
-formats, per-request deadlines, structured error payloads, and a bounded
-thread worker pool over one shared read-only engine.  See DESIGN.md
+formats, ``POST /update`` for SPARQL 1.1 Update (rejected with 403 in
+read-only deployments), per-request deadlines, structured error payloads,
+and a bounded thread worker pool over one shared engine.  See DESIGN.md
 ("The serving subsystem") for the threading model.
 """
 
@@ -17,9 +18,12 @@ from .protocol import (
     FORM_TYPE,
     MEDIA_TYPE_FORMATS,
     SPARQL_QUERY_TYPE,
+    SPARQL_UPDATE_TYPE,
+    UPDATE_PATH,
     ProtocolError,
     negotiate,
     parse_query_request,
+    parse_update_request,
 )
 
 __all__ = [
@@ -29,9 +33,12 @@ __all__ = [
     "ProtocolError",
     "negotiate",
     "parse_query_request",
+    "parse_update_request",
     "ENDPOINT_PATH",
+    "UPDATE_PATH",
     "HEALTH_PATH",
     "SPARQL_QUERY_TYPE",
+    "SPARQL_UPDATE_TYPE",
     "FORM_TYPE",
     "MEDIA_TYPE_FORMATS",
 ]

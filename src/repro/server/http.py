@@ -2,11 +2,13 @@
 
 Threading model (see DESIGN.md "The serving subsystem"):
 
-* One :class:`~repro.sparql.engine.SparqlEngine` over one read-only store is
-  shared by every worker.  Queries never mutate stores, term decoding and
-  statistics are read-only at query time, and the engine's prepared-
-  statement cache is lock-protected — so sharing needs no further
-  synchronization.
+* One :class:`~repro.sparql.engine.SparqlEngine` is shared by every worker.
+  Queries never mutate stores, term decoding and statistics are read-only at
+  query time, and the engine's prepared-statement cache is lock-protected —
+  so sharing needs no further synchronization.  Writable deployments wrap
+  the store in an :class:`~repro.store.MvccStore`: ``POST /update`` commits
+  through its serialized write transaction while readers keep scanning the
+  generation they pinned; ``read_only=True`` rejects updates with 403.
 * Accepted connections are dispatched to a bounded
   :class:`~concurrent.futures.ThreadPoolExecutor` (a true worker pool, not
   thread-per-request: a flood of connections queues instead of spawning
@@ -34,12 +36,20 @@ from urllib.parse import urlsplit
 from ..sparql.cursor import Deadline
 from ..sparql.errors import (
     ERROR_INTERNAL,
+    ERROR_READ_ONLY,
     QueryTimeout,
     SparqlError,
     error_payload,
 )
 from ..sparql.serializers import CONTENT_TYPES
-from .protocol import ENDPOINT_PATH, ProtocolError, negotiate, parse_query_request
+from .protocol import (
+    ENDPOINT_PATH,
+    UPDATE_PATH,
+    ProtocolError,
+    negotiate,
+    parse_query_request,
+    parse_update_request,
+)
 
 #: JSON media type of error payloads and the health endpoint.
 JSON_TYPE = "application/json"
@@ -103,23 +113,25 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         if path == HEALTH_PATH:
             self._send_health()
             return
+        if path == UPDATE_PATH:
+            # Updates change state; they are POST-only by construction.
+            error = ProtocolError(
+                405, f"method GET not allowed on {UPDATE_PATH} "
+                     "(updates must be POSTed)")
+            self._send_json(error.status, error.payload())
+            return
         if path != ENDPOINT_PATH:
-            self._send_json(
-                404, {"error": {"code": "not_found",
-                                "message": f"no resource at {path!r} "
-                                           f"(the endpoint is {ENDPOINT_PATH})"}}
-            )
+            self._send_not_found(path)
             return
         self._handle_query("GET", body=None)
 
     def do_POST(self):
         path = urlsplit(self.path).path
+        if path == UPDATE_PATH:
+            self._handle_update()
+            return
         if path != ENDPOINT_PATH:
-            self._send_json(
-                404, {"error": {"code": "not_found",
-                                "message": f"no resource at {path!r} "
-                                           f"(the endpoint is {ENDPOINT_PATH})"}}
-            )
+            self._send_not_found(path)
             return
         length = int(self.headers.get("Content-Length") or 0)
         body = self.rfile.read(length).decode("utf-8", errors="replace")
@@ -169,7 +181,53 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_body(200, buffer.getvalue(), CONTENT_TYPES[format])
 
+    def _handle_update(self):
+        server = self.server
+        # Drain the request body even on rejection paths: a keep-alive
+        # client's next request would otherwise read leftover body bytes as
+        # its request line.
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length).decode("utf-8", errors="replace")
+        if getattr(server, "read_only", False):
+            # 403, not 405: the resource exists and POST is the right verb,
+            # but this deployment refuses state changes.
+            self._send_json(403, error_payload(
+                PermissionError("server is serving in read-only mode; "
+                                "updates are disabled"),
+                code=ERROR_READ_ONLY,
+            ))
+            return
+        try:
+            update_text = parse_update_request(
+                "POST", content_type=self.headers.get("Content-Type"),
+                body=body,
+            )
+        except ProtocolError as error:
+            self._send_json(error.status, error.payload())
+            return
+        try:
+            result = server.engine.update(update_text)
+        except SparqlError as error:
+            # Parse errors (code "parse_error") and evaluation failures of
+            # the WHERE pattern both map to a structured 400.
+            self._send_json(400, error_payload(error))
+            return
+        except Exception as error:  # noqa: BLE001 - never leak a traceback
+            self._send_json(500, error_payload(error, code=ERROR_INTERNAL))
+            return
+        payload = {"ok": True}
+        payload.update(result.as_dict())
+        self._send_json(200, payload)
+
     # -- response plumbing -------------------------------------------------
+
+    def _send_not_found(self, path):
+        self._send_json(
+            404, {"error": {"code": "not_found",
+                            "message": f"no resource at {path!r} (endpoints: "
+                                       f"{ENDPOINT_PATH}, {UPDATE_PATH}, "
+                                       f"{HEALTH_PATH})"}}
+        )
 
     def _send_health(self):
         server = self.server
@@ -178,6 +236,8 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             "engine": server.engine.config.name,
             "triples": len(server.engine.store),
             "workers": server.workers,
+            "version": getattr(server.engine.store, "version", 0),
+            "read_only": getattr(server, "read_only", False),
         })
 
     def _send_json(self, status, payload, extra_headers=None):
@@ -211,7 +271,8 @@ class SparqlServer:
     """
 
     def __init__(self, engine, host="127.0.0.1", port=0, workers=4,
-                 default_timeout=30.0, max_timeout=None, verbose=False):
+                 default_timeout=30.0, max_timeout=None, verbose=False,
+                 read_only=False):
         self.engine = engine
         self._httpd = ThreadPoolHTTPServer(
             (host, port), SparqlRequestHandler, workers=workers
@@ -223,7 +284,13 @@ class SparqlServer:
             default_timeout if max_timeout is None else max_timeout
         )
         self._httpd.verbose = verbose
+        self._httpd.read_only = read_only
         self._thread = None
+
+    @property
+    def read_only(self):
+        """True when POST /update is rejected with 403."""
+        return self._httpd.read_only
 
     @property
     def host(self):
@@ -237,6 +304,11 @@ class SparqlServer:
     def url(self):
         """The query endpoint URL."""
         return f"http://{self.host}:{self.port}{ENDPOINT_PATH}"
+
+    @property
+    def update_url(self):
+        """The update endpoint URL."""
+        return f"http://{self.host}:{self.port}{UPDATE_PATH}"
 
     @property
     def health_url(self):

@@ -27,8 +27,14 @@ from ..sparql.serializers import CONTENT_TYPES, FORMATS
 #: ``/sparql`` is the de-facto convention).
 ENDPOINT_PATH = "/sparql"
 
+#: The update endpoint path (SPARQL 1.1 Protocol "update operation").
+UPDATE_PATH = "/update"
+
 #: Media type of a direct-POST query body.
 SPARQL_QUERY_TYPE = "application/sparql-query"
+
+#: Media type of a direct-POST update body.
+SPARQL_UPDATE_TYPE = "application/sparql-update"
 
 #: Media type of an HTML-form POST body.
 FORM_TYPE = "application/x-www-form-urlencoded"
@@ -196,3 +202,37 @@ def parse_query_request(method, target, content_type=None, body=None,
     if not query.strip():
         raise ProtocolError(400, "empty query text")
     return query, _parse_timeout(timeout_raw, max_timeout)
+
+
+def parse_update_request(method, content_type=None, body=None):
+    """Extract the update text from one SPARQL Protocol update request.
+
+    The update operation has exactly two transport forms, both POST: a
+    direct ``application/sparql-update`` body, and an
+    ``application/x-www-form-urlencoded`` body with an ``update=``
+    parameter.  Raises :class:`ProtocolError` for every malformed
+    transport: non-POST method (405), unsupported Content-Type (415),
+    missing/duplicate/empty ``update`` parameter (400).
+    """
+    if method != "POST":
+        raise ProtocolError(405, f"method {method} not allowed on {UPDATE_PATH} "
+                                 "(updates must be POSTed)")
+    kind = media_type(content_type)
+    if kind == SPARQL_UPDATE_TYPE:
+        update = body or ""
+    elif kind == FORM_TYPE or kind == "":
+        form_parameters = parse_qs(body or "", keep_blank_values=True)
+        update = _single_parameter(form_parameters, "update")
+        if update is None:
+            raise ProtocolError(
+                400, "missing update parameter in form-encoded POST body"
+            )
+    else:
+        raise ProtocolError(
+            415,
+            f"unsupported POST Content-Type {content_type!r} (expected "
+            f"{SPARQL_UPDATE_TYPE} or {FORM_TYPE})",
+        )
+    if not update.strip():
+        raise ProtocolError(400, "empty update text")
+    return update

@@ -30,7 +30,7 @@ from .serializers import FORMATS as RESULT_FORMATS
 from .evaluator import NESTED_LOOP, SCAN_HASH, Evaluator
 from .idspace import IdSpaceEvaluation, SlotBinding, SlotLayout
 from .optimizer import optimize, reorder_patterns
-from .parser import parse_query
+from .parser import parse_query, parse_update
 from .planner import (
     PLANNER_COST,
     PLANNER_GREEDY,
@@ -45,9 +45,13 @@ from .planner import (
     plan_tree,
 )
 from .results import AskResult, SelectResult
+from .update import UpdateResult, execute_update
 
 __all__ = [
     "parse_query",
+    "parse_update",
+    "execute_update",
+    "UpdateResult",
     "translate_query",
     "translate_group",
     "optimize",

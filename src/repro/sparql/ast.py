@@ -258,3 +258,53 @@ class AskQuery:
     prefixes: dict = field(default_factory=dict)
 
     form = "ASK"
+
+
+# ---------------------------------------------------------------------------
+# Updates (SPARQL 1.1 Update)
+# ---------------------------------------------------------------------------
+
+class UpdateOperation:
+    """Base class for parsed SPARQL Update operations."""
+
+    form = "UPDATE"
+
+
+@dataclass
+class InsertDataUpdate(UpdateOperation):
+    """``INSERT DATA { triples }``: ground triples added verbatim."""
+
+    triples: list                   # list[Triple], all ground
+    prefixes: dict = field(default_factory=dict)
+
+    form = "INSERT DATA"
+
+
+@dataclass
+class DeleteDataUpdate(UpdateOperation):
+    """``DELETE DATA { triples }``: ground triples removed verbatim."""
+
+    triples: list                   # list[Triple], all ground
+    prefixes: dict = field(default_factory=dict)
+
+    form = "DELETE DATA"
+
+
+@dataclass
+class ModifyUpdate(UpdateOperation):
+    """The pattern-driven forms: ``DELETE/INSERT ... WHERE`` and
+    ``DELETE WHERE``.
+
+    ``delete_templates``/``insert_templates`` are triple *templates* (may
+    contain variables bound by the WHERE pattern); either may be empty but
+    not both.  Per the SPARQL 1.1 Update semantics both template sets are
+    instantiated against the solutions of ``where`` evaluated on the
+    pre-update state, deletions are applied first, then insertions.
+    """
+
+    delete_templates: list = field(default_factory=list)   # list[Triple]
+    insert_templates: list = field(default_factory=list)   # list[Triple]
+    where: GroupGraphPattern = None
+    prefixes: dict = field(default_factory=dict)
+
+    form = "MODIFY"

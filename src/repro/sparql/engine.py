@@ -23,6 +23,7 @@ from typing import Optional
 from ..rdf.graph import Graph
 from ..store.indexed_store import IndexedStore
 from ..store.memory_store import MemoryStore
+from ..store.mvcc import read_snapshot
 from . import algebra, optimizer, planner
 from .ast import AskQuery, SelectQuery
 from .bindings import variable_name
@@ -209,17 +210,20 @@ class SparqlEngine:
         tree = algebra.translate_query(query)
         mode = self.config.resolved_planner()
         reorder = mode == PLANNER_GREEDY
+        # One pinned generation for the whole planning pass, so selectivity
+        # estimates and dictionary lookups cannot straddle an update commit.
+        store = read_snapshot(self.store)
         if reorder or self.config.push_filters:
             tree = optimizer.optimize(
                 tree,
-                self.store,
+                store,
                 reorder=reorder,
                 push_filters=self.config.push_filters,
             )
         if mode == PLANNER_COST:
             tree = planner.plan_tree(
-                tree, self.store,
-                vectorize=self.config.resolved_vectorize(self.store),
+                tree, store,
+                vectorize=self.config.resolved_vectorize(store),
             )
         return query, tree
 
@@ -254,24 +258,30 @@ class SparqlEngine:
         template never blocks other threads' cache hits); when two threads
         race on the same uncached text, the first insertion wins and both
         get the same :class:`PreparedQuery`.
+
+        Entries are keyed by the store version they were planned against:
+        when an update publishes a new generation (bumping ``version``), the
+        next lookup of every cached text re-prepares against fresh planner
+        statistics instead of running a stale plan.
         """
         cache = self._prepared_cache
+        version = getattr(self.store, "version", 0)
         with self._prepared_lock:
-            prepared = cache.pop(query_text, None)
-            if prepared is not None:
+            entry = cache.pop(query_text, None)
+            if entry is not None and entry[0] == version:
                 # Re-insertion moves the entry to the back of the eviction
                 # order.
-                cache[query_text] = prepared
-                return prepared
+                cache[query_text] = entry
+                return entry[1]
         candidate = self.prepare(query_text)
         with self._prepared_lock:
-            prepared = cache.pop(query_text, None)
-            if prepared is None:
-                prepared = candidate
+            entry = cache.pop(query_text, None)
+            if entry is None or entry[0] != version:
+                entry = (version, candidate)
                 while len(cache) >= self.PREPARED_CACHE_SIZE:
                     cache.pop(next(iter(cache)))
-            cache[query_text] = prepared
-            return prepared
+            cache[query_text] = entry
+            return entry[1]
 
     def stream(self, query_text, **run_options):
         """One-shot streaming execution: ``prepare(text).run(**options)``.
@@ -316,7 +326,7 @@ class SparqlEngine:
             if isinstance(node, algebra.BGP) and node.plan is not None:
                 node.plan.reset_actuals()
         evaluator = Evaluator(
-            self.store,
+            read_snapshot(self.store),
             strategy=self.config.join_strategy,
             reuse_patterns=self.config.reuse_pattern_results,
             use_id_space=self.config.use_id_space,
@@ -336,6 +346,28 @@ class SparqlEngine:
             id_space=evaluator.uses_id_space,
             result_count=result_count,
             elapsed=elapsed,
+        )
+
+    def update(self, update_text):
+        """Parse and execute a SPARQL 1.1 Update operation.
+
+        Accepts ``INSERT DATA``, ``DELETE DATA``, ``DELETE WHERE``, and
+        ``DELETE/INSERT ... WHERE``; the WHERE pattern runs on this engine's
+        configured execution profile.  Against an MVCC store the operation
+        commits as one atomically-published generation; plain stores are
+        mutated in place.  Returns an
+        :class:`~repro.sparql.update.UpdateResult`.
+        """
+        from .update import execute_update
+
+        return execute_update(
+            self.store,
+            update_text,
+            evaluator_options={
+                "strategy": self.config.join_strategy,
+                "reuse_patterns": self.config.reuse_pattern_results,
+                "use_id_space": self.config.use_id_space,
+            },
         )
 
     def ask(self, query_text):
@@ -418,8 +450,11 @@ class PreparedQuery:
                 deadline = timeout_deadline
         seed = _normalize_bindings(bindings)
         config = self.engine.config
+        # Pin one store generation for the whole run: every scan of this
+        # cursor reads the same immutable snapshot even while concurrent
+        # updates publish new generations (no-op for plain stores).
         evaluator = Evaluator(
-            self.engine.store,
+            read_snapshot(self.engine.store),
             strategy=config.join_strategy,
             reuse_patterns=config.reuse_pattern_results,
             use_id_space=config.use_id_space,

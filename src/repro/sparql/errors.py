@@ -20,6 +20,8 @@ ERROR_TIMEOUT = "timeout"
 ERROR_EVALUATION = "evaluation_error"
 ERROR_BAD_REQUEST = "bad_request"
 ERROR_INTERNAL = "internal_error"
+#: An update was sent to an endpoint serving in read-only mode.
+ERROR_READ_ONLY = "read_only"
 
 
 class SparqlError(Exception):

@@ -15,6 +15,16 @@ Grammar (informal)::
 
 Triple blocks support the ``;`` (same subject) and ``,`` (same subject and
 predicate) abbreviations as well as the ``a`` keyword for ``rdf:type``.
+
+SPARQL 1.1 Update operations are parsed by :func:`parse_update`::
+
+    Update       := Prologue ( InsertData | DeleteData | DeleteWhere | Modify )
+    InsertData   := INSERT DATA TripleTemplate
+    DeleteData   := DELETE DATA TripleTemplate
+    DeleteWhere  := DELETE WHERE GroupGraphPattern
+    Modify       := (DELETE TripleTemplate)? (INSERT TripleTemplate)?
+                    WHERE GroupGraphPattern
+    TripleTemplate := '{' TriplesBlock* '}'
 """
 
 from __future__ import annotations
@@ -36,6 +46,19 @@ def parse_query(text, extra_prefixes=None):
     the benchmark.
     """
     return _Parser(text, extra_prefixes).parse()
+
+
+def parse_update(text, extra_prefixes=None):
+    """Parse SPARQL 1.1 Update text into one update operation.
+
+    Supported forms: ``INSERT DATA { ... }``, ``DELETE DATA { ... }``,
+    ``DELETE WHERE { ... }``, and the modify form
+    ``[DELETE { t }] [INSERT { t }] WHERE { pattern }``.  Returns an
+    :class:`~repro.sparql.ast.InsertDataUpdate`,
+    :class:`~repro.sparql.ast.DeleteDataUpdate`, or
+    :class:`~repro.sparql.ast.ModifyUpdate`.
+    """
+    return _Parser(text, extra_prefixes).parse_update()
 
 
 class _Parser:
@@ -199,6 +222,128 @@ class _Parser:
         self._take_keyword("WHERE")
         where = self._parse_group()
         return ast.AskQuery(where=where, prefixes=dict(self._prefixes))
+
+    # -- update forms ---------------------------------------------------------
+
+    def parse_update(self):
+        """Entry point for SPARQL 1.1 Update text (one operation)."""
+        self._parse_prologue()
+        if self._at_keyword("INSERT"):
+            self._advance()
+            if self._take_keyword("DATA"):
+                triples = self._parse_triple_template(ground=True)
+                update = ast.InsertDataUpdate(triples=triples,
+                                              prefixes=dict(self._prefixes))
+            else:
+                update = self._parse_modify(delete_templates=[])
+        elif self._at_keyword("DELETE"):
+            self._advance()
+            if self._take_keyword("DATA"):
+                triples = self._parse_triple_template(ground=True,
+                                                      allow_bnodes=False)
+                update = ast.DeleteDataUpdate(triples=triples,
+                                              prefixes=dict(self._prefixes))
+            elif self._take_keyword("WHERE"):
+                # DELETE WHERE { P } is shorthand for DELETE { P } WHERE { P }.
+                where = self._parse_group()
+                patterns = self._only_triple_patterns(where)
+                update = ast.ModifyUpdate(delete_templates=patterns,
+                                          insert_templates=[],
+                                          where=where,
+                                          prefixes=dict(self._prefixes))
+            else:
+                deletes = self._parse_triple_template(allow_bnodes=False)
+                if self._take_keyword("INSERT"):
+                    update = self._parse_modify(delete_templates=deletes)
+                else:
+                    update = self._parse_modify(delete_templates=deletes,
+                                                insert_templates=[])
+        else:
+            token = self._peek()
+            raise SparqlSyntaxError(
+                f"expected INSERT or DELETE, found {token.value!r}",
+                token.position,
+            )
+        token = self._peek()
+        if token.kind != "EOF":
+            raise SparqlSyntaxError(
+                f"unexpected trailing input {token.value!r}", token.position
+            )
+        return update
+
+    def _parse_modify(self, delete_templates, insert_templates=None):
+        """Finish a modify form after its DELETE (and maybe INSERT) keyword.
+
+        Called with ``insert_templates=None`` when an ``INSERT { t }`` block
+        still has to be parsed; the WHERE clause is mandatory either way.
+        """
+        if insert_templates is None:
+            insert_templates = self._parse_triple_template()
+        if not delete_templates and not insert_templates:
+            token = self._peek()
+            raise SparqlSyntaxError(
+                "update with empty DELETE and INSERT templates", token.position
+            )
+        self._expect("KEYWORD", "WHERE")
+        where = self._parse_group()
+        return ast.ModifyUpdate(delete_templates=delete_templates,
+                                insert_templates=insert_templates,
+                                where=where,
+                                prefixes=dict(self._prefixes))
+
+    def _parse_triple_template(self, ground=False, allow_bnodes=True):
+        """Parse a ``{ triples }`` block into a list of triple (patterns).
+
+        ``ground=True`` rejects variables (the DATA forms insert/delete
+        verbatim triples); ``allow_bnodes=False`` additionally rejects blank
+        nodes (DELETE templates, where a blank node could never match).
+        """
+        open_token = self._expect("LBRACE")
+        group = ast.GroupGraphPattern()
+        while True:
+            token = self._peek()
+            if token.kind == "RBRACE":
+                self._advance()
+                break
+            if token.kind == "EOF":
+                raise SparqlSyntaxError("unterminated triple template",
+                                        token.position)
+            self._parse_triples_block(group)
+        triples = []
+        for element in group.elements:
+            pattern = element.pattern
+            for term in (pattern.subject, pattern.predicate, pattern.object):
+                if ground and isinstance(term, Variable):
+                    raise SparqlSyntaxError(
+                        f"variable {term.n3()} not allowed in a DATA block",
+                        open_token.position,
+                    )
+                if not allow_bnodes and isinstance(term, BNode):
+                    raise SparqlSyntaxError(
+                        f"blank node {term.n3()} not allowed in a DELETE "
+                        "template", open_token.position,
+                    )
+            triples.append(pattern)
+        return triples
+
+    def _only_triple_patterns(self, group):
+        """The triple patterns of a DELETE WHERE group (nothing else allowed)."""
+        patterns = []
+        for element in group.elements:
+            if not isinstance(element, ast.TriplePatternNode):
+                raise SparqlSyntaxError(
+                    f"DELETE WHERE allows only triple patterns, found "
+                    f"{element!s}", None,
+                )
+            for term in (element.pattern.subject, element.pattern.predicate,
+                         element.pattern.object):
+                if isinstance(term, BNode):
+                    raise SparqlSyntaxError(
+                        f"blank node {term.n3()} not allowed in DELETE WHERE",
+                        None,
+                    )
+            patterns.append(element.pattern)
+        return patterns
 
     def _parse_order_by(self):
         conditions = []

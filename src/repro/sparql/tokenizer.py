@@ -58,6 +58,8 @@ KEYWORDS = {
     # Aggregation extension (the SPARQL extension the paper's conclusion
     # anticipates; syntax follows what later became SPARQL 1.1).
     "GROUP", "AS", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    # SPARQL 1.1 Update (INSERT DATA / DELETE DATA / DELETE..INSERT..WHERE).
+    "INSERT", "DELETE", "DATA",
 }
 
 

@@ -1,0 +1,156 @@
+"""Execution of SPARQL 1.1 Update operations.
+
+The parser (:func:`repro.sparql.parser.parse_update`) produces one of three
+AST nodes — :class:`~repro.sparql.ast.InsertDataUpdate`,
+:class:`~repro.sparql.ast.DeleteDataUpdate`,
+:class:`~repro.sparql.ast.ModifyUpdate` — and :func:`execute_update` applies
+it to a store.  Semantics follow the SPARQL 1.1 Update specification:
+
+* the WHERE pattern of a modify operation is evaluated once against the
+  *pre-update* state; both template sets are instantiated from that one
+  solution sequence,
+* deletions are applied before insertions,
+* a solution that leaves any template variable unbound instantiates nothing
+  from that template (the solution is skipped for it, not an error),
+* blank nodes in INSERT templates mint a fresh node per solution.
+
+Against an :class:`~repro.store.MvccStore`, the whole operation runs inside
+one write transaction: WHERE evaluation is pinned to the transaction's base
+generation, mutations build the next generation copy-on-write, and commit
+publishes atomically — readers never observe a half-applied update.  Plain
+stores are mutated in place (single-threaded embedded use).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+
+from ..rdf.terms import BNode, Variable
+from ..rdf.triple import Triple
+from . import algebra
+from .ast import DeleteDataUpdate, InsertDataUpdate, ModifyUpdate, UpdateOperation
+from .errors import EvaluationError
+from .evaluator import Evaluator
+from .parser import parse_update
+
+#: Counter minting process-unique blank-node labels for INSERT templates.
+_fresh_bnode_ids = count()
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """Outcome of one executed update operation.
+
+    ``inserted``/``deleted`` count actual store changes (not template
+    instantiations — inserting an already-present triple changes nothing);
+    ``matched`` is the number of WHERE solutions for the modify forms and
+    ``None`` for the DATA forms; ``version`` is the store version after the
+    operation committed.
+    """
+
+    operation: str
+    inserted: int
+    deleted: int
+    matched: int = None
+    version: int = 0
+
+    def as_dict(self):
+        payload = {
+            "operation": self.operation,
+            "inserted": self.inserted,
+            "deleted": self.deleted,
+            "version": self.version,
+        }
+        if self.matched is not None:
+            payload["matched"] = self.matched
+        return payload
+
+
+def execute_update(store, operation, evaluator_options=None):
+    """Apply one SPARQL Update operation to ``store``.
+
+    ``operation`` is update text or a parsed :class:`UpdateOperation`.
+    ``evaluator_options`` are passed to the :class:`Evaluator` used for the
+    WHERE pattern of modify forms (``strategy``, ``use_id_space``, ...), so
+    an engine can keep updates on its configured execution profile.
+    Returns an :class:`UpdateResult`.
+    """
+    if isinstance(operation, str):
+        operation = parse_update(operation)
+    if not isinstance(operation, UpdateOperation):
+        raise TypeError(f"not an update operation: {operation!r}")
+    transaction_factory = getattr(store, "write_transaction", None)
+    if transaction_factory is not None:
+        with transaction_factory() as txn:
+            result = _apply(txn.base, txn.insert, txn.remove, operation,
+                            evaluator_options)
+        # The transaction published (or skipped publishing) by now; report
+        # the store's post-commit version.
+        return _stamp(result, store.version)
+    # Plain store: mutate in place, WHERE solutions materialized first so
+    # deletes cannot perturb the pattern evaluation they feed.
+    result = _apply(store, store.add, store.remove, operation,
+                    evaluator_options)
+    return _stamp(result, getattr(store, "version", 0))
+
+
+def _stamp(result, version):
+    return UpdateResult(result.operation, result.inserted, result.deleted,
+                        matched=result.matched, version=version)
+
+
+def _apply(base, insert, remove, operation, evaluator_options):
+    """Run ``operation`` reading from ``base``, writing via the callbacks."""
+    if isinstance(operation, InsertDataUpdate):
+        inserted = sum(1 for triple in operation.triples if insert(triple))
+        return UpdateResult(operation.form, inserted, 0)
+    if isinstance(operation, DeleteDataUpdate):
+        deleted = sum(1 for triple in operation.triples if remove(triple))
+        return UpdateResult(operation.form, 0, deleted)
+    if not isinstance(operation, ModifyUpdate):
+        raise EvaluationError(f"unsupported update operation: {operation!r}")
+
+    tree = algebra.translate_group(operation.where)
+    evaluator = Evaluator(base, **(evaluator_options or {}))
+    # Materialize: application must see the complete pre-update solution
+    # sequence even on plain stores where writes are applied in place.
+    solutions = list(evaluator.evaluate(tree))
+    deleted = inserted = 0
+    for solution in solutions:
+        for template in operation.delete_templates:
+            triple = _instantiate(template, solution, fresh_bnodes=None)
+            if triple is not None and remove(triple):
+                deleted += 1
+    for solution in solutions:
+        fresh_bnodes = {}
+        for template in operation.insert_templates:
+            triple = _instantiate(template, solution, fresh_bnodes)
+            if triple is not None and insert(triple):
+                inserted += 1
+    return UpdateResult(operation.form, inserted, deleted,
+                        matched=len(solutions))
+
+
+def _instantiate(template, solution, fresh_bnodes):
+    """Ground one triple template under a solution; None to skip.
+
+    ``fresh_bnodes`` maps template blank-node labels to the per-solution
+    fresh nodes minted so far (None in delete position, where the parser
+    already rejected blank nodes).
+    """
+    terms = []
+    for term in (template.subject, template.predicate, template.object):
+        if isinstance(term, Variable):
+            bound = solution.get(term)
+            if bound is None:
+                return None
+            term = bound
+        elif isinstance(term, BNode) and fresh_bnodes is not None:
+            minted = fresh_bnodes.get(term.label)
+            if minted is None:
+                minted = BNode(f"u{next(_fresh_bnode_ids)}")
+                fresh_bnodes[term.label] = minted
+            term = minted
+        terms.append(term)
+    return Triple(*terms)

@@ -13,6 +13,7 @@ from .base import TripleStore
 from .dictionary import TermDictionary
 from .indexed_store import IndexedStore
 from .memory_store import MemoryStore
+from .mvcc import MvccStore, read_snapshot
 from .snapshot import (
     FORMAT_VERSION as SNAPSHOT_FORMAT_VERSION,
     SnapshotCorruptError,
@@ -29,6 +30,8 @@ __all__ = [
     "TripleStore",
     "MemoryStore",
     "IndexedStore",
+    "MvccStore",
+    "read_snapshot",
     "TermDictionary",
     "StoreStatistics",
     "SNAPSHOT_FORMAT_VERSION",

@@ -25,6 +25,13 @@ class TripleStore(abc.ABC):
     #: to decide between id-space and term-space query execution.
     supports_id_access = False
 
+    #: Monotonic mutation counter.  Every successful ``add``/``remove`` (and
+    #: every published MVCC generation) bumps it; the engine's prepared-
+    #: statement cache compares it to detect stale plans and stale planner
+    #: statistics.  Class attribute 0 until the first mutation, so unchanged
+    #: stores pay nothing.
+    version = 0
+
     @abc.abstractmethod
     def add(self, triple):
         """Add one ground triple.  Returns True if it was new."""

@@ -192,6 +192,7 @@ class IndexedStore(TripleStore):
             added += 1
         if added:
             self._sorted_runs.clear()
+            self.version += 1
         return added
 
     def _recompute_statistics(self):
@@ -244,6 +245,7 @@ class IndexedStore(TripleStore):
         self._by_so.setdefault((s, o), set()).add(ids)
         self._invalidate_sorted_runs(p)
         self.statistics.observe(triple)
+        self.version += 1
         return True
 
     def remove(self, triple):
@@ -274,7 +276,20 @@ class IndexedStore(TripleStore):
                 del index[key]
         self._invalidate_sorted_runs(p)
         self.statistics.forget(triple)
+        self.version += 1
         return True
+
+    def begin_generation(self):
+        """Start a copy-on-write draft of this store's next MVCC generation.
+
+        Returns a :class:`GenerationDraft` sharing this store's term
+        dictionary (append-only, so ids stay valid across generations), its
+        untouched index buckets, and its sorted runs; the draft copies a
+        bucket only when a mutation first touches it.  This store is never
+        modified through the draft — readers holding it keep an immutable
+        view while the writer assembles the next generation.
+        """
+        return GenerationDraft(self)
 
     # -- id-level access ----------------------------------------------------
 
@@ -424,3 +439,125 @@ class IndexedStore(TripleStore):
 
     def __repr__(self):
         return f"IndexedStore(len={len(self)}, terms={len(self._dictionary)})"
+
+
+class GenerationDraft:
+    """A copy-on-write draft of an :class:`IndexedStore`'s next generation.
+
+    Built by :meth:`IndexedStore.begin_generation` and driven by the MVCC
+    writer (:mod:`repro.store.mvcc`).  The draft's store starts as a
+    structural-sharing copy of the base generation:
+
+    * the term dictionary is *shared* (append-only; ids are stable forever),
+    * the id-triple set is copied (O(n), the per-transaction floor),
+    * the six hash indexes copy their **dict spines** but share every bucket
+      set with the base; a bucket is copied exactly once, the first time a
+      mutation touches it (``_owned`` tracks copied keys per index),
+    * sorted runs are shared and only the runs of *touched predicates* are
+      dropped at :meth:`finish` — untouched predicates keep their (immutable)
+      runs across generations with zero rebuild cost,
+    * statistics are deep-copied once and maintained incrementally.
+
+    The base store is never mutated: concurrent readers pinned to it see a
+    frozen, consistent state for as long as they hold the reference.
+    """
+
+    def __init__(self, base):
+        store = IndexedStore()
+        store._dictionary = base._dictionary
+        store._spo = set(base._spo)
+        store._by_s = base._by_s.copy()
+        store._by_p = base._by_p.copy()
+        store._by_o = base._by_o.copy()
+        store._by_sp = base._by_sp.copy()
+        store._by_po = base._by_po.copy()
+        store._by_so = base._by_so.copy()
+        # dict.copy() is a single C-level call, so it is atomic with respect
+        # to readers lazily inserting sorted runs into the base generation.
+        store._sorted_runs = base._sorted_runs.copy()
+        store.statistics = base.statistics.copy()
+        store.version = base.version
+        self.store = store
+        #: Keys whose bucket has been copied, aligned with _index_table order.
+        self._owned = tuple(set() for _ in range(6))
+        self._touched_predicates = set()
+        self.inserted = 0
+        self.deleted = 0
+
+    def _index_entries(self, s, p, o):
+        store = self.store
+        return (
+            (store._by_s, s), (store._by_p, p), (store._by_o, o),
+            (store._by_sp, (s, p)), (store._by_po, (p, o)),
+            (store._by_so, (s, o)),
+        )
+
+    def add(self, triple):
+        """Insert one ground triple into the draft; True when it was new."""
+        store = self.store
+        encode = store._dictionary.encode
+        ids = (encode(triple.subject), encode(triple.predicate),
+               encode(triple.object))
+        if ids in store._spo:
+            return False
+        store._spo.add(ids)
+        s, p, o = ids
+        for owned, (index, key) in zip(self._owned, self._index_entries(s, p, o)):
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = {ids}
+                owned.add(key)
+            elif key in owned:
+                bucket.add(ids)
+            else:
+                copied = set(bucket)
+                copied.add(ids)
+                index[key] = copied
+                owned.add(key)
+        store.statistics.observe(triple)
+        self._touched_predicates.add(p)
+        self.inserted += 1
+        return True
+
+    def remove(self, triple):
+        """Remove one ground triple from the draft; True when it was present."""
+        store = self.store
+        encoded = store.encode_pattern(triple.subject, triple.predicate,
+                                       triple.object)
+        if encoded is None or encoded not in store._spo:
+            return False
+        store._spo.discard(encoded)
+        s, p, o = encoded
+        for owned, (index, key) in zip(self._owned, self._index_entries(s, p, o)):
+            bucket = index[key]
+            if key not in owned:
+                bucket = set(bucket)
+                index[key] = bucket
+                owned.add(key)
+            bucket.discard(encoded)
+            if not bucket:
+                del index[key]
+                owned.discard(key)
+        store.statistics.forget(triple)
+        self._touched_predicates.add(p)
+        self.deleted += 1
+        return True
+
+    @property
+    def mutated(self):
+        """True when at least one triple was actually inserted or removed."""
+        return bool(self.inserted or self.deleted)
+
+    def finish(self, version):
+        """Seal the draft as generation ``version`` and return its store.
+
+        Sorted runs of every touched predicate are dropped (they rebuild
+        lazily on first use in the new generation); untouched predicates
+        keep the shared runs of the previous generation.
+        """
+        store = self.store
+        for predicate_id in self._touched_predicates:
+            store._sorted_runs.pop((predicate_id, RUN_BY_SUBJECT), None)
+            store._sorted_runs.pop((predicate_id, RUN_BY_OBJECT), None)
+        store.version = version
+        return store

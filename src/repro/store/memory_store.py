@@ -31,6 +31,7 @@ class MemoryStore(TripleStore):
         if triple in self._triples:
             return False
         self._triples[triple] = None
+        self.version += 1
         return True
 
     def save(self, path, metadata=None):
@@ -57,7 +58,17 @@ class MemoryStore(TripleStore):
         if triple not in self._triples:
             return False
         del self._triples[triple]
+        self.version += 1
         return True
+
+    def begin_generation(self):
+        """Start a draft of this store's next MVCC generation.
+
+        A scan store has no sharable index structure, so the draft simply
+        copies the triple dict (one C-level ``dict.copy``) — O(n) but with a
+        very small constant, matching the store's own cost model.
+        """
+        return MemoryGenerationDraft(self)
 
     def triples(self, subject=None, predicate=None, object=None):
         for triple in self._triples:
@@ -77,3 +88,45 @@ class MemoryStore(TripleStore):
 
     def __repr__(self):
         return f"MemoryStore(len={len(self)})"
+
+
+class MemoryGenerationDraft:
+    """Draft of a :class:`MemoryStore`'s next MVCC generation.
+
+    Same driver-facing surface as ``indexed_store.GenerationDraft``:
+    ``add``/``remove``/``mutated``/``inserted``/``deleted``/``finish``.
+    """
+
+    def __init__(self, base):
+        store = MemoryStore()
+        store._triples = base._triples.copy()
+        store.version = base.version
+        self.store = store
+        self.inserted = 0
+        self.deleted = 0
+
+    def add(self, triple):
+        """Insert one ground triple into the draft; True when it was new."""
+        if triple in self.store._triples:
+            return False
+        self.store._triples[triple] = None
+        self.inserted += 1
+        return True
+
+    def remove(self, triple):
+        """Remove one ground triple from the draft; True when present."""
+        if triple not in self.store._triples:
+            return False
+        del self.store._triples[triple]
+        self.deleted += 1
+        return True
+
+    @property
+    def mutated(self):
+        """True when at least one triple was actually inserted or removed."""
+        return bool(self.inserted or self.deleted)
+
+    def finish(self, version):
+        """Seal the draft as generation ``version`` and return its store."""
+        self.store.version = version
+        return self.store

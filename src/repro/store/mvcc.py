@@ -1,0 +1,171 @@
+"""Multi-version concurrency control over the snapshot-style stores.
+
+SPARQL Update turns the previously read-only stores into shared mutable
+state.  Rather than locking readers, :class:`MvccStore` keeps every published
+store *generation* immutable: readers pin the current generation with one
+attribute read and keep scanning it unperturbed; a single serialized writer
+builds the next generation as a copy-on-write draft (``begin_generation`` on
+the underlying store) and publishes it atomically by swapping one reference.
+
+Invariants:
+
+* A published generation is never mutated again.  Readers holding it see a
+  frozen, consistent state for as long as they keep the reference.  (The one
+  deliberate exception is lazy sorted-run materialization inside
+  ``IndexedStore`` — a cache fill, not a logical mutation.)
+* Publishing bumps ``version`` monotonically; the engine's prepared-statement
+  cache and planner statistics key off it to invalidate stale plans.
+* ``write_transaction`` holds the writer lock across WHERE evaluation *and*
+  application, so read-modify-write updates never lose concurrent writes.
+
+Readers should go through :func:`read_snapshot` at operation start and use
+the returned plain store for the whole operation; the helper is a no-op on
+non-MVCC stores, so callers need not know which kind they were given.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from .base import TripleStore
+
+
+def read_snapshot(store):
+    """Pin the current generation of ``store`` for a whole read operation.
+
+    Returns the underlying immutable generation when ``store`` is an
+    :class:`MvccStore`, and ``store`` itself otherwise.  One attribute read;
+    atomic with respect to concurrent publishes.
+    """
+    snapshot = getattr(store, "snapshot", None)
+    if snapshot is not None:
+        return snapshot()
+    return store
+
+
+class WriteTransaction:
+    """Handle yielded by :meth:`MvccStore.write_transaction`.
+
+    ``base`` is the pre-update generation (evaluate WHERE clauses against
+    it); ``insert``/``remove`` mutate the copy-on-write draft.  Deletions and
+    insertions may be issued in any order — the SPARQL Update executor applies
+    deletes first per the spec, but the draft itself is order-agnostic.
+    """
+
+    def __init__(self, base, draft):
+        self.base = base
+        self._draft = draft
+
+    def insert(self, triple):
+        """Add one ground triple to the next generation; True when new."""
+        return self._draft.add(triple)
+
+    def remove(self, triple):
+        """Remove one ground triple from the next generation; True if present."""
+        return self._draft.remove(triple)
+
+    @property
+    def inserted(self):
+        return self._draft.inserted
+
+    @property
+    def deleted(self):
+        return self._draft.deleted
+
+
+class MvccStore(TripleStore):
+    """Snapshot-isolated facade over a :class:`~repro.store.IndexedStore` or
+    :class:`~repro.store.MemoryStore`.
+
+    Reads delegate to the current generation; point mutations (``add`` /
+    ``remove``) run as single-triple transactions.  Bulk ingestion and the
+    SPARQL Update executor use :meth:`write_transaction` directly so one
+    update operation publishes exactly one generation.
+    """
+
+    def __init__(self, store):
+        self._current = store
+        self._writer_lock = threading.RLock()
+
+    # -- snapshots and versioning ------------------------------------------
+
+    def snapshot(self):
+        """The current generation (an immutable plain store)."""
+        return self._current
+
+    @property
+    def version(self):
+        return self._current.version
+
+    @contextmanager
+    def write_transaction(self):
+        """Serialize one writer; yield a :class:`WriteTransaction`.
+
+        On normal exit, a mutated draft is sealed with ``version + 1`` and
+        published atomically; an unmutated draft is discarded without a
+        version bump (no-op updates must not invalidate prepared plans).  On
+        exception nothing is published.
+        """
+        with self._writer_lock:
+            base = self._current
+            draft = base.begin_generation()
+            transaction = WriteTransaction(base, draft)
+            yield transaction
+            if draft.mutated:
+                self._current = draft.finish(base.version + 1)
+
+    # -- TripleStore interface ---------------------------------------------
+
+    @property
+    def name(self):
+        return f"mvcc({self._current.name})"
+
+    @property
+    def supports_id_access(self):
+        return self._current.supports_id_access
+
+    def add(self, triple):
+        with self.write_transaction() as txn:
+            return txn.insert(triple)
+
+    def remove(self, triple):
+        with self.write_transaction() as txn:
+            return txn.remove(triple)
+
+    def bulk_load(self, triples):
+        with self.write_transaction() as txn:
+            added = 0
+            for triple in triples:
+                if txn.insert(triple):
+                    added += 1
+            return added
+
+    load_graph = bulk_load
+
+    def triples(self, subject=None, predicate=None, object=None):
+        return self._current.triples(subject, predicate, object)
+
+    def contains(self, triple):
+        return self._current.contains(triple)
+
+    def count(self, subject=None, predicate=None, object=None):
+        return self._current.count(subject, predicate, object)
+
+    def estimate_count(self, subject=None, predicate=None, object=None):
+        return self._current.estimate_count(subject, predicate, object)
+
+    def __len__(self):
+        return len(self._current)
+
+    def save(self, path, metadata=None):
+        return self._current.save(path, metadata=metadata)
+
+    def __getattr__(self, attribute):
+        # Anything else (statistics, dictionary, id-space access, sorted
+        # runs) resolves against the current generation.  Readers that need
+        # a *consistent* view across several calls must pin a snapshot first.
+        return getattr(self._current, attribute)
+
+    def __repr__(self):
+        return f"MvccStore(version={self.version}, current={self._current!r})"

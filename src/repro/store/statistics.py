@@ -63,6 +63,28 @@ class StoreStatistics:
         if predicate == _RDF_TYPE:
             _decrement(self.class_counts, triple.object)
 
+    def copy(self):
+        """An independent deep copy (MVCC generation builds start from one).
+
+        The copy shares no mutable structure with the original, so a writer
+        can :meth:`observe`/:meth:`forget` incrementally on the next
+        generation's statistics while readers keep planning against the
+        published generation's counts.
+        """
+        clone = StoreStatistics()
+        clone.triple_count = self.triple_count
+        clone.predicate_counts = dict(self.predicate_counts)
+        clone._predicate_subjects = {
+            predicate: dict(counts)
+            for predicate, counts in self._predicate_subjects.items()
+        }
+        clone._predicate_objects = {
+            predicate: dict(counts)
+            for predicate, counts in self._predicate_objects.items()
+        }
+        clone.class_counts = dict(self.class_counts)
+        return clone
+
     # -- accessors ---------------------------------------------------------
 
     def predicate_count(self, predicate):
