@@ -48,6 +48,7 @@ from .errors import EvaluationError
 from .expressions import effective_boolean_value
 from .idspace import NESTED_LOOP, SCAN_HASH, IdSpaceEvaluation, reduce_numbers
 from .planner import BIND_JOIN
+from .scatter import ScatterGatherEvaluation
 
 _STRATEGIES = (NESTED_LOOP, SCAN_HASH)
 
@@ -136,8 +137,16 @@ class Evaluator:
         return self._id_space_run().solve(node)
 
     def _id_space_run(self):
-        """A fresh per-evaluation id-space run (own caches and decode memo)."""
-        return IdSpaceEvaluation(
+        """A fresh per-evaluation id-space run (own caches and decode memo).
+
+        Partitioned stores (anything exposing a ``segments`` attribute) get
+        the scatter-gather evaluation; with one segment it degenerates to
+        plain single-store behaviour, so the dispatch is purely structural.
+        """
+        cls = IdSpaceEvaluation
+        if getattr(self._store, "segments", None) is not None:
+            cls = ScatterGatherEvaluation
+        return cls(
             self._store, self._strategy, reuse_patterns=self._reuse_patterns,
             observe_plans=self._observe_plans, deadline=self._deadline,
             seed=self._seed_map,

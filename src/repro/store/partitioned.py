@@ -1,0 +1,382 @@
+"""Hash-partitioned store: K indexed segments sharing one term dictionary.
+
+The scale-out substrate (ROADMAP item 2).  :class:`PartitionedStore` splits
+the flat u32 id-triple set — the exact form ``.sp2b`` snapshots store — into
+``K`` :class:`~repro.store.IndexedStore` segments by **subject id**
+(``subject_id % K``), all sharing **one** :class:`TermDictionary`:
+
+* every triple lives in exactly one segment, so per-segment
+  :class:`StoreStatistics` merge exactly (see
+  :func:`~repro.store.statistics.merge_statistics`) and planner estimates
+  are identical to the unpartitioned store's;
+* because the dictionary is shared, ids are globally comparable — rows
+  produced by different segments join and union without any re-mapping;
+* the store itself remains a complete :class:`TripleStore`: pattern access
+  routes to the owning segment when the subject id is bound and chains over
+  all segments otherwise, so every existing evaluation path stays correct
+  with a :class:`PartitionedStore` in place of a single store.  ``K == 1``
+  is the degenerate case and behaves like a plain indexed store.
+
+The parallel scatter-gather execution layer over the segments lives in
+:mod:`repro.sparql.scatter`; this module is pure storage and knows nothing
+about processes.  Persistence writes one standalone ``.sp2b`` snapshot per
+segment plus a small JSON manifest (see ``docs/snapshot-format.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from array import array
+
+from ..rdf.triple import Triple
+from .base import TripleStore
+from .indexed_store import RUN_BY_OBJECT, RUN_BY_SUBJECT, IndexedStore, SortedRun
+from .snapshot import SnapshotFormatError, load_snapshot
+from .statistics import merge_statistics
+
+#: Manifest marker so a stray JSON file is not mistaken for a partition set.
+MANIFEST_FORMAT = "sp2b-partition-manifest"
+MANIFEST_VERSION = 1
+
+
+def partition_of(subject_id, shards):
+    """The segment owning a subject id (the partitioning key)."""
+    return subject_id % shards
+
+
+class PartitionedStore(TripleStore):
+    """K :class:`IndexedStore` segments partitioned by subject id."""
+
+    name = "partitioned"
+    supports_id_access = True
+    supports_sorted_runs = True
+
+    def __init__(self, segments, parallel=None):
+        segments = tuple(segments)
+        if not segments:
+            raise ValueError("PartitionedStore needs at least one segment")
+        dictionary = segments[0].dictionary
+        for segment in segments[1:]:
+            if segment.dictionary is not dictionary:
+                raise ValueError("segments must share one term dictionary")
+        self._segments = segments
+        self._dictionary = dictionary
+        self._statistics = None
+        self._merged_runs = {}
+        self.version = 0
+        #: Scatter-gather parallelism policy read by repro.sparql.scatter:
+        #: None = auto (process pool when fork is available), False = always
+        #: evaluate segments sequentially in-process, True = require a pool.
+        self.parallel = parallel
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_id_triples(cls, dictionary, id_triples, shards, parallel=None):
+        """Partition raw id 3-tuples into ``shards`` segments by subject id."""
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        buckets = [[] for _ in range(shards)]
+        for ids in id_triples:
+            ids = tuple(ids)
+            buckets[partition_of(ids[0], shards)].append(ids)
+        segments = [
+            IndexedStore.from_id_triples(dictionary, bucket)
+            for bucket in buckets
+        ]
+        return cls(segments, parallel=parallel)
+
+    @classmethod
+    def from_store(cls, store, shards, parallel=None):
+        """Partition an existing store (converting to id form if needed)."""
+        if not getattr(store, "supports_id_access", False):
+            indexed = IndexedStore()
+            indexed.bulk_load(store.triples())
+            store = indexed
+        return cls.from_id_triples(
+            store.dictionary, store.id_triples(), shards, parallel=parallel
+        )
+
+    # -- segment-set interface ----------------------------------------------
+
+    @property
+    def segments(self):
+        """The segment stores, in partition order (the scatter targets)."""
+        return self._segments
+
+    @property
+    def shard_count(self):
+        return len(self._segments)
+
+    def segment_of(self, subject_id):
+        """The segment store owning a subject id."""
+        return self._segments[partition_of(subject_id, len(self._segments))]
+
+    @property
+    def dictionary(self):
+        return self._dictionary
+
+    @property
+    def statistics(self):
+        """Merged statistics over all segments (computed lazily, cached).
+
+        Structurally equal to the statistics of an unpartitioned store over
+        the same triples — the invariant planner estimates depend on.
+        """
+        if self._statistics is None:
+            self._statistics = merge_statistics(
+                segment.statistics for segment in self._segments
+            )
+        return self._statistics
+
+    # -- id-level access -----------------------------------------------------
+
+    def encode_pattern(self, subject, predicate, object):
+        """Encode bound positions; None when a bound term is unknown."""
+        encoded = []
+        for term in (subject, predicate, object):
+            if term is None:
+                encoded.append(None)
+                continue
+            term_id = self._dictionary.lookup(term)
+            if term_id is None:
+                return None
+            encoded.append(term_id)
+        return tuple(encoded)
+
+    def triples_ids(self, subject=None, predicate=None, object=None):
+        """Id-triple access: routed when the subject is bound, else chained."""
+        if subject is not None:
+            return self.segment_of(subject).triples_ids(
+                subject, predicate, object
+            )
+
+        def generate():
+            for segment in self._segments:
+                yield from segment.triples_ids(subject, predicate, object)
+
+        return generate()
+
+    def count_ids(self, subject=None, predicate=None, object=None):
+        if subject is not None:
+            return self.segment_of(subject).count_ids(
+                subject, predicate, object
+            )
+        return sum(
+            segment.count_ids(subject, predicate, object)
+            for segment in self._segments
+        )
+
+    def id_triples(self):
+        for segment in self._segments:
+            yield from segment.id_triples()
+
+    def sorted_run(self, predicate_id, order=RUN_BY_SUBJECT):
+        """A predicate run merged across segments (cached per predicate).
+
+        Segments hold disjoint triples, so concatenating their runs and
+        re-sorting yields exactly the whole-store run.  Built lazily for the
+        evaluation paths that run against the global view (cross-segment
+        "broadcast" BGPs); segment-local evaluation uses each segment's own
+        runs and never triggers a merge.
+        """
+        if order not in (RUN_BY_SUBJECT, RUN_BY_OBJECT):
+            raise ValueError(f"unknown run order: {order!r}")
+        key = (predicate_id, order)
+        run = self._merged_runs.get(key)
+        if run is not None:
+            return run
+        parts = [
+            segment.sorted_run(predicate_id, order)
+            for segment in self._segments
+        ]
+        parts = [part for part in parts if part is not None]
+        if not parts:
+            return None
+        if len(parts) == 1:
+            run = parts[0]
+        else:
+            pairs = sorted(
+                pair
+                for part in parts
+                for pair in zip(part.keys, part.values)
+            )
+            keys = array("I", (pair[0] for pair in pairs))
+            values = array("I", (pair[1] for pair in pairs))
+            run = SortedRun(predicate_id, order, keys, values)
+        self._merged_runs[key] = run
+        return run
+
+    # -- term-level access ---------------------------------------------------
+
+    def triples(self, subject=None, predicate=None, object=None):
+        encoded = self.encode_pattern(subject, predicate, object)
+        if encoded is None:
+            return
+        decode = self._dictionary.decode
+        for s_id, p_id, o_id in self.triples_ids(*encoded):
+            yield Triple(decode(s_id), decode(p_id), decode(o_id))
+
+    def contains(self, triple):
+        encoded = self.encode_pattern(
+            triple.subject, triple.predicate, triple.object
+        )
+        if encoded is None:
+            return False
+        return self.count_ids(*encoded) > 0
+
+    def count(self, subject=None, predicate=None, object=None):
+        encoded = self.encode_pattern(subject, predicate, object)
+        if encoded is None:
+            return 0
+        return self.count_ids(*encoded)
+
+    def estimate_count(self, subject=None, predicate=None, object=None):
+        encoded = self.encode_pattern(subject, predicate, object)
+        if encoded is None:
+            return 0
+        s, p, o = encoded
+        if s is not None or p is not None or o is not None:
+            return self.count_ids(s, p, o)
+        return self.statistics.triple_count
+
+    def __len__(self):
+        return sum(len(segment) for segment in self._segments)
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, triple):
+        """Route one triple to its owning segment (by subject id)."""
+        subject_id = self._dictionary.encode(triple.subject)
+        added = self.segment_of(subject_id).add(triple)
+        if added:
+            self._mutated()
+        return added
+
+    def remove(self, triple):
+        subject_id = self._dictionary.lookup(triple.subject)
+        if subject_id is None:
+            return False
+        removed = self.segment_of(subject_id).remove(triple)
+        if removed:
+            self._mutated()
+        return removed
+
+    def _mutated(self):
+        """Invalidate merged caches; bumping ``version`` also retires any
+        scatter pool forked from the previous state of the segments."""
+        self._statistics = None
+        self._merged_runs.clear()
+        self.version += 1
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path, metadata=None):
+        """Write one ``.sp2b`` snapshot per segment plus a JSON manifest.
+
+        ``path`` names the manifest; segment snapshots land next to it as
+        ``<path>.seg0``, ``<path>.seg1``, ...  Each segment file is a
+        standalone, individually loadable snapshot (it embeds the shared
+        dictionary in full); :meth:`load` re-shares one dictionary across
+        the loaded segments.  The manifest is written last, atomically, so
+        a crash mid-save never leaves a manifest pointing at missing
+        segment files.
+        """
+        path = os.fspath(path)
+        segment_names = []
+        for index, segment in enumerate(self._segments):
+            segment_name = f"{os.path.basename(path)}.seg{index}"
+            segment.save(
+                os.path.join(os.path.dirname(path) or ".", segment_name),
+                metadata={"segment": index, "shards": self.shard_count},
+            )
+            segment_names.append(segment_name)
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "manifest_version": MANIFEST_VERSION,
+            "shards": self.shard_count,
+            "segments": segment_names,
+            "triples": len(self),
+            "terms": len(self._dictionary),
+            "metadata": dict(metadata) if metadata else {},
+        }
+        tmp_path = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, path)
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+        return manifest
+
+    @classmethod
+    def load(cls, path, parallel=None):
+        """Rebuild a partitioned store from a manifest written by save()."""
+        path = os.fspath(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise SnapshotFormatError(
+                f"{path}: not a partition manifest ({error})"
+            ) from error
+        if (
+            not isinstance(manifest, dict)
+            or manifest.get("format") != MANIFEST_FORMAT
+        ):
+            raise SnapshotFormatError(f"{path}: not a partition manifest")
+        if manifest.get("manifest_version") != MANIFEST_VERSION:
+            raise SnapshotFormatError(
+                f"{path}: unsupported manifest version "
+                f"{manifest.get('manifest_version')!r}"
+            )
+        directory = os.path.dirname(path) or "."
+        segments = [
+            load_snapshot(os.path.join(directory, name), expected_kind="indexed")
+            for name in manifest["segments"]
+        ]
+        if len(segments) != manifest.get("shards"):
+            raise SnapshotFormatError(
+                f"{path}: manifest lists {manifest.get('shards')} shards "
+                f"but {len(segments)} segment files"
+            )
+        # Every segment file embeds an identical copy of the dictionary the
+        # segments shared at save time (same object, hence byte-identical
+        # sections, hence identical id -> term mappings).  Re-point all
+        # segments at the first copy so the loaded store shares one
+        # dictionary again instead of keeping K redundant copies.
+        shared = segments[0].dictionary
+        for segment in segments[1:]:
+            if len(segment.dictionary) != len(shared):
+                raise SnapshotFormatError(
+                    f"{path}: segment dictionaries diverge "
+                    f"({len(segment.dictionary)} != {len(shared)} terms)"
+                )
+            segment._dictionary = shared
+        return cls(segments, parallel=parallel)
+
+    def __repr__(self):
+        return (
+            f"PartitionedStore(shards={self.shard_count}, len={len(self)}, "
+            f"terms={len(self._dictionary)})"
+        )
+
+
+def is_partition_manifest(path):
+    """Cheap check whether ``path`` holds a partition manifest."""
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(512)
+    except OSError:
+        return False
+    return MANIFEST_FORMAT.encode("ascii") in head
+
+
+def save_partitioned(store, path, shards, metadata=None, parallel=None):
+    """Partition ``store`` into ``shards`` segments and save the set."""
+    partitioned = PartitionedStore.from_store(store, shards, parallel=parallel)
+    partitioned.save(path, metadata=metadata)
+    return partitioned

@@ -1,0 +1,82 @@
+"""Property: sharded evaluation equals single-store evaluation.
+
+Partitioning is a pure physical-layer change: for every catalog query and
+every shard count the scatter-gather evaluator must produce exactly the
+multiset the single store produces (row order is not part of the contract).
+The engines pin ``parallel=False`` so hypothesis exercises the sequential
+per-segment path deterministically; the process-pool path is covered by
+``tests/sparql/test_scatter.py`` and asserts equality against the same
+single-store baseline.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.generator import DblpGenerator, GeneratorConfig
+from repro.queries import ALL_QUERIES, get_query
+from repro.sparql import NATIVE_COST, SparqlEngine
+from repro.sparql.results import AskResult
+from repro.store import IndexedStore, PartitionedStore
+
+QUERY_IDS = tuple(query.identifier for query in ALL_QUERIES)
+
+SHARD_COUNTS = (1, 2, 4)
+
+#: shard count -> engine, built once — hypothesis draws must not rebuild
+#: 2k-triple stores.  Key None is the unpartitioned baseline.
+_ENGINES = {}
+
+
+def _engine(shards):
+    engine = _ENGINES.get(shards)
+    if engine is None:
+        if not _ENGINES:
+            store = IndexedStore()
+            store.bulk_load(
+                DblpGenerator(
+                    GeneratorConfig(triple_limit=2_000, seed=823645187)
+                ).graph()
+            )
+            _ENGINES[None] = SparqlEngine.from_store(store, NATIVE_COST)
+        whole = _ENGINES[None].store
+        if shards is not None:
+            engine = _ENGINES[shards] = SparqlEngine.from_store(
+                PartitionedStore.from_store(whole, shards, parallel=False),
+                NATIVE_COST,
+            )
+        else:
+            engine = _ENGINES[None]
+    return engine
+
+
+def _multiset(engine, text):
+    result = engine.query(text)
+    if isinstance(result, AskResult):
+        return bool(result)
+    return Counter(frozenset(binding.items()) for binding in result.bindings)
+
+
+@settings(deadline=None, max_examples=60)
+@given(query_id=st.sampled_from(QUERY_IDS),
+       shards=st.sampled_from(SHARD_COUNTS))
+def test_sharded_equals_single_store(query_id, shards):
+    """Full results are multiset-equal at every shard count."""
+    text = get_query(query_id).text
+    assert _multiset(_engine(shards), text) == _multiset(_engine(None), text)
+
+
+@settings(deadline=None, max_examples=30)
+@given(query_id=st.sampled_from(
+           tuple(q.identifier for q in ALL_QUERIES if q.form == "SELECT")),
+       shards=st.sampled_from(SHARD_COUNTS[1:]),
+       limit=st.integers(min_value=0, max_value=20))
+def test_sharded_limit_window_is_subset(query_id, shards, limit):
+    """LIMIT pushdown over gathered rows stays within the full multiset."""
+    full = _multiset(_engine(None), get_query(query_id).text)
+    prepared = _engine(shards).prepare(get_query(query_id).text)
+    window = Counter(
+        frozenset(binding.items()) for binding in prepared.run(limit=limit)
+    )
+    assert sum(window.values()) == min(limit, sum(full.values()))
+    assert all(window[row] <= full[row] for row in window)

@@ -1,0 +1,219 @@
+"""PartitionedStore: subject-hash segments sharing one term dictionary."""
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.rdf import BENCH, DC, RDF, Literal, Triple, URIRef
+from repro.store import (
+    IndexedStore,
+    PartitionedStore,
+    SnapshotFormatError,
+    is_partition_manifest,
+    merge_statistics,
+    save_partitioned,
+)
+from repro.store.partitioned import partition_of
+
+XSD_STRING = "http://www.w3.org/2001/XMLSchema#string"
+
+
+@pytest.fixture(scope="module")
+def whole_store(generated_graph_small):
+    store = IndexedStore()
+    store.bulk_load(generated_graph_small)
+    return store
+
+
+@pytest.fixture(scope="module")
+def partitioned(whole_store):
+    return PartitionedStore.from_store(whole_store, 4)
+
+
+def test_every_triple_lands_in_its_subject_segment(whole_store, partitioned):
+    assert partitioned.shard_count == 4
+    for index, segment in enumerate(partitioned.segments):
+        for s_id, _p_id, _o_id in segment.id_triples():
+            assert partition_of(s_id, 4) == index
+    assert len(partitioned) == len(whole_store)
+
+
+def test_segments_are_disjoint_and_complete(whole_store, partitioned):
+    merged = Counter()
+    for segment in partitioned.segments:
+        part = Counter(segment.id_triples())
+        assert not (merged & part)  # disjoint: each triple in one segment
+        merged += part
+    assert merged == Counter(whole_store.id_triples())
+
+
+def test_segments_share_one_dictionary(partitioned):
+    dictionary = partitioned.dictionary
+    for segment in partitioned.segments:
+        assert segment.dictionary is dictionary
+
+
+def test_merged_statistics_equal_whole_store(whole_store, partitioned):
+    """The satellite invariant: merging per-segment statistics is exact."""
+    assert partitioned.statistics == whole_store.statistics
+    direct = merge_statistics(
+        segment.statistics for segment in partitioned.segments
+    )
+    assert direct == whole_store.statistics
+    assert direct.triple_count == len(whole_store)
+
+
+def test_k1_is_the_degenerate_whole_store(whole_store):
+    single = PartitionedStore.from_store(whole_store, 1)
+    assert single.shard_count == 1
+    assert Counter(single.id_triples()) == Counter(whole_store.id_triples())
+    assert single.statistics == whole_store.statistics
+
+
+def test_pattern_access_matches_whole_store(whole_store, partitioned):
+    patterns = [
+        (None, None, None),
+        (None, RDF.type, None),
+        (None, RDF.type, BENCH.Article),
+        (None, DC.title, None),
+    ]
+    # Plus a bound-subject pattern, which routes to one segment.
+    subject = next(iter(whole_store.triples(None, RDF.type, BENCH.Article))).subject
+    patterns.append((subject, None, None))
+    for pattern in patterns:
+        expected = Counter(whole_store.triples(*pattern))
+        assert Counter(partitioned.triples(*pattern)) == expected
+        assert partitioned.count(*pattern) == sum(expected.values())
+
+
+def test_bound_subject_routes_to_owning_segment(whole_store, partitioned):
+    s_id, p_id, o_id = next(iter(whole_store.id_triples()))
+    segment = partitioned.segment_of(s_id)
+    assert segment is partitioned.segments[partition_of(s_id, 4)]
+    assert list(partitioned.triples_ids(s_id, p_id, o_id)) == [(s_id, p_id, o_id)]
+    assert partitioned.count_ids(s_id, None, None) == whole_store.count_ids(
+        s_id, None, None
+    )
+
+
+def test_sorted_run_merges_segment_runs(whole_store, partitioned):
+    predicate_id = whole_store.encode_pattern(None, RDF.type, None)[1]
+    whole_run = whole_store.sorted_run(predicate_id)
+    merged = partitioned.sorted_run(predicate_id)
+    assert list(zip(merged.keys, merged.values)) == sorted(
+        zip(whole_run.keys, whole_run.values)
+    )
+    # Cached: the same object comes back.
+    assert partitioned.sorted_run(predicate_id) is merged
+    assert partitioned.sorted_run(10**9) is None
+
+
+def test_mutation_routes_and_invalidates(whole_store):
+    part = PartitionedStore.from_store(whole_store, 3)
+    version = part.version
+    _ = part.statistics  # populate the cache
+    triple = Triple(
+        URIRef("http://example.org/new-subject"),
+        DC.title,
+        Literal("fresh", datatype=XSD_STRING),
+    )
+    assert part.add(triple)
+    assert part.version == version + 1
+    assert not part.add(triple)  # duplicate: no version churn
+    assert part.version == version + 1
+    assert part.contains(triple)
+    subject_id = part.dictionary.lookup(triple.subject)
+    assert part.segment_of(subject_id).contains(triple)
+    # Statistics were invalidated and re-merge to the new truth.
+    assert part.statistics.triple_count == len(whole_store) + 1
+    assert part.remove(triple)
+    assert part.version == version + 2
+    assert part.statistics == whole_store.statistics
+    missing = Triple(URIRef("http://example.org/never"), DC.title, triple.object)
+    assert not part.remove(missing)
+
+
+def test_save_load_round_trip(tmp_path, whole_store, partitioned):
+    path = tmp_path / "doc.sp2b"
+    manifest = partitioned.save(path, metadata={"origin": "test"})
+    assert manifest["shards"] == 4
+    assert is_partition_manifest(path)
+    for index in range(4):
+        assert (tmp_path / f"doc.sp2b.seg{index}").exists()
+
+    loaded = PartitionedStore.load(path)
+    assert loaded.shard_count == 4
+    assert Counter(loaded.id_triples()) == Counter(partitioned.id_triples())
+    assert loaded.statistics == whole_store.statistics
+    shared = loaded.dictionary
+    for segment in loaded.segments:
+        assert segment.dictionary is shared
+
+
+def test_save_partitioned_helper(tmp_path, whole_store):
+    path = tmp_path / "helper.sp2b"
+    part = save_partitioned(whole_store, path, shards=2)
+    assert part.shard_count == 2
+    assert is_partition_manifest(path)
+    loaded = PartitionedStore.load(path)
+    assert len(loaded) == len(whole_store)
+
+
+def test_load_rejects_corrupt_manifests(tmp_path, partitioned):
+    path = tmp_path / "doc.sp2b"
+    partitioned.save(path)
+
+    not_json = tmp_path / "garbage.sp2b"
+    not_json.write_bytes(b"\x00\x01 not json")
+    with pytest.raises(SnapshotFormatError):
+        PartitionedStore.load(not_json)
+    assert not is_partition_manifest(not_json)
+
+    wrong_format = tmp_path / "wrong.sp2b"
+    wrong_format.write_text(json.dumps({"format": "something-else"}))
+    with pytest.raises(SnapshotFormatError):
+        PartitionedStore.load(wrong_format)
+
+    manifest = json.loads(path.read_text())
+    manifest["manifest_version"] = 99
+    bad_version = tmp_path / "version.sp2b"
+    bad_version.write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotFormatError, match="version"):
+        PartitionedStore.load(bad_version)
+
+    manifest = json.loads(path.read_text())
+    manifest["shards"] = 3  # disagrees with the four listed segment files
+    bad_shards = tmp_path / "shards.sp2b"
+    bad_shards.write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotFormatError, match="shards"):
+        PartitionedStore.load(bad_shards)
+
+
+def test_constructor_validation(whole_store):
+    with pytest.raises(ValueError):
+        PartitionedStore(())
+    with pytest.raises(ValueError):
+        PartitionedStore.from_store(whole_store, 0)
+    alien = IndexedStore()  # its own dictionary: must be rejected
+    with pytest.raises(ValueError, match="share"):
+        PartitionedStore([whole_store, alien])
+
+
+def test_encode_pattern_unknown_term(partitioned):
+    unknown = URIRef("http://example.org/not-in-dictionary")
+    assert partitioned.encode_pattern(unknown, None, None) is None
+    assert partitioned.count(unknown, None, None) == 0
+    assert list(partitioned.triples(unknown, None, None)) == []
+    assert partitioned.estimate_count() == len(partitioned)
+
+
+def test_from_memory_store_converts(generated_graph_small):
+    from repro.store import MemoryStore
+
+    memory = MemoryStore()
+    for triple in generated_graph_small:
+        memory.add(triple)
+    part = PartitionedStore.from_store(memory, 2)
+    assert len(part) == len(memory)
+    assert part.shard_count == 2

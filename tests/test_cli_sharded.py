@@ -1,0 +1,67 @@
+"""CLI tests for ``repro query --shards`` and partition-manifest loading."""
+
+import pytest
+
+from repro.cli import main
+from repro.store import PartitionedStore, load_snapshot, save_partitioned
+
+
+@pytest.fixture(scope="module")
+def snapshot(tmp_path_factory):
+    """A 2000-triple document snapshot (reaches the 1940 entry points)."""
+    directory = tmp_path_factory.mktemp("sharded-cli")
+    output = directory / "doc.nt"
+    assert main(["generate", str(output), "--triples", "2000",
+                 "--save-snapshot"]) == 0
+    return directory / "doc.sp2b"
+
+
+def test_query_shards_matches_single_store(snapshot, capsys):
+    capsys.readouterr()
+
+    def rows(extra):
+        assert main(["query", str(snapshot), "--query", "Q2"] + extra) == 0
+        return capsys.readouterr().out.splitlines()
+
+    single = rows([])
+    sharded = rows(["--shards", "3"])
+    assert "results" in single[0]
+    assert sorted(single[1:]) == sorted(sharded[1:])
+
+
+def test_query_shards_explain_shows_scatter(snapshot, capsys):
+    capsys.readouterr()
+    assert main(["query", str(snapshot), "--query", "Q2",
+                 "--shards", "4", "--explain"]) == 0
+    assert "scatter=union" in capsys.readouterr().out
+
+
+def test_query_shards_rejects_memory_engines(snapshot):
+    with pytest.raises(SystemExit, match="id-space"):
+        main(["query", str(snapshot), "--query", "Q1",
+              "--engine", "inmemory-optimized", "--shards", "2"])
+
+
+def test_query_loads_partition_manifests(snapshot, tmp_path, capsys):
+    manifest = tmp_path / "doc-parts.sp2b"
+    save_partitioned(load_snapshot(snapshot), manifest, shards=2)
+    capsys.readouterr()
+    assert main(["query", str(manifest), "--query", "Q1"]) == 0
+    assert "Q1: 1 results" in capsys.readouterr().out
+
+
+def test_shards_on_plain_documents(snapshot, capsys):
+    document = snapshot.with_suffix(".nt")
+    capsys.readouterr()
+    assert main(["query", str(document), "--query", "Q1", "--shards", "2"]) == 0
+    assert "Q1: 1 results" in capsys.readouterr().out
+
+
+def test_build_engine_repartitions_on_disagreement(snapshot, tmp_path):
+    from repro.cli import _build_engine
+
+    manifest = tmp_path / "doc-parts.sp2b"
+    save_partitioned(load_snapshot(snapshot), manifest, shards=2)
+    engine = _build_engine(str(manifest), "native-cost", shards=4)
+    assert isinstance(engine.store, PartitionedStore)
+    assert engine.store.shard_count == 4

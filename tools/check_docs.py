@@ -1,0 +1,187 @@
+"""Fail CI when the docs drift from the repo or the CLI.
+
+Two independent checks over README.md, DESIGN.md, and docs/*.md:
+
+1. **Intra-repo links.**  Every relative markdown link must point at a
+   file that exists, and every ``#anchor`` fragment must match a
+   GitHub-style heading slug in the target document.  External links
+   (``http://``, ``https://``, ``mailto:``) are ignored.
+
+2. **README command drift.**  Every ``$ repro <sub> ...`` line inside a
+   README console block is checked against the live CLI: the subcommand
+   must exist, and every ``--flag`` the line uses must appear in that
+   subcommand's ``--help`` output.
+
+Exit status is non-zero iff any check fails; every failure is reported
+with file and line.  Run from anywhere:
+
+    python tools/check_docs.py [repo-root]
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+#: characters GitHub keeps when slugging a heading (besides spaces/hyphens)
+SLUG_DROP_RE = re.compile(r"[^\w\- ]", re.UNICODE)
+COMMAND_RE = re.compile(r"^\$ (repro\s.*)$")
+FLAG_RE = re.compile(r"--[A-Za-z][A-Za-z0-9-]*")
+
+
+def doc_files(root):
+    files = [root / "README.md", root / "DESIGN.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def iter_prose_lines(text):
+    """Yield (lineno, line) outside fenced code blocks."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield lineno, line
+
+
+def iter_fenced_lines(text):
+    """Yield (lineno, line) inside fenced code blocks."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            yield lineno, line
+
+
+def github_slug(heading, seen):
+    """The anchor GitHub generates for a heading, deduplicated via *seen*."""
+    # Strip inline-code backticks and markdown emphasis before slugging.
+    text = heading.replace("`", "").replace("*", "").replace("_", " ")
+    slug = SLUG_DROP_RE.sub("", text.strip().lower()).replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def anchors_of(path, cache):
+    anchors = cache.get(path)
+    if anchors is None:
+        seen = {}
+        anchors = set()
+        for _, line in iter_prose_lines(path.read_text(encoding="utf-8")):
+            match = HEADING_RE.match(line)
+            if match:
+                anchors.add(github_slug(match.group(2), seen))
+        cache[path] = anchors
+    return anchors
+
+
+def check_links(root, errors):
+    cache = {}
+    for path in doc_files(root):
+        rel = path.relative_to(root)
+        for lineno, line in iter_prose_lines(path.read_text(encoding="utf-8")):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                base, _, fragment = target.partition("#")
+                dest = (path.parent / base).resolve() if base else path
+                if not dest.is_file():
+                    errors.append(f"{rel}:{lineno}: broken link {target!r} "
+                                  f"({dest} does not exist)")
+                    continue
+                if fragment and dest.suffix == ".md":
+                    if fragment not in anchors_of(dest, cache):
+                        errors.append(
+                            f"{rel}:{lineno}: link {target!r} points at "
+                            f"anchor #{fragment}, which matches no heading "
+                            f"in {dest.name}"
+                        )
+
+
+def readme_commands(readme_text):
+    """Yield (lineno, argv-tokens) for each ``$ repro ...`` console line."""
+    pending = None
+    for lineno, line in iter_fenced_lines(readme_text):
+        stripped = line.strip()
+        if pending is not None:
+            start, words = pending
+            words.extend(stripped.rstrip("\\").split())
+            pending = (start, words) if stripped.endswith("\\") else None
+            if pending is None:
+                yield start, words
+            continue
+        match = COMMAND_RE.match(stripped)
+        if match:
+            words = match.group(1).rstrip("\\").split()
+            if stripped.endswith("\\"):
+                pending = (lineno, words)
+            else:
+                yield lineno, words
+
+
+def subcommand_help(root, sub, cache):
+    if sub not in cache:
+        result = subprocess.run(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import main; sys.exit(main())",
+             sub, "--help"],
+            capture_output=True, text=True, cwd=root,
+            env={**os.environ, "PYTHONPATH": str(root / "src")},
+        )
+        # Unknown subcommands make main() print usage and return 2; --help
+        # on a real subcommand always exits 0.
+        ok = result.returncode == 0
+        cache[sub] = (result.stdout + result.stderr) if ok else None
+    return cache[sub]
+
+
+def check_commands(root, errors):
+    readme = root / "README.md"
+    cache = {}
+    for lineno, words in readme_commands(readme.read_text(encoding="utf-8")):
+        if len(words) < 2:
+            errors.append(f"README.md:{lineno}: bare `repro` invocation")
+            continue
+        sub = words[1]
+        help_text = subcommand_help(root, sub, cache)
+        if help_text is None:
+            errors.append(f"README.md:{lineno}: unknown subcommand "
+                          f"`repro {sub}`")
+            continue
+        for token in words[2:]:
+            for flag in FLAG_RE.findall(token.split("=", 1)[0]):
+                if flag not in help_text:
+                    errors.append(
+                        f"README.md:{lineno}: `repro {sub}` does not "
+                        f"accept {flag} (not in its --help output)"
+                    )
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    root = (Path(argv[0]) if argv else Path(__file__).resolve().parent.parent)
+    root = root.resolve()
+    errors = []
+    check_links(root, errors)
+    check_commands(root, errors)
+    if errors:
+        print(f"docs check failed ({len(errors)} problem(s)):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    files = ", ".join(str(p.relative_to(root)) for p in doc_files(root))
+    print(f"docs check passed ({files})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
