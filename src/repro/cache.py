@@ -32,6 +32,7 @@ from pathlib import Path
 
 from .generator.config import GeneratorConfig
 from .generator.generator import DblpGenerator
+from .obs import get_registry
 from .store import IndexedStore, MemoryStore
 from .store.snapshot import (
     FORMAT_VERSION,
@@ -45,6 +46,16 @@ from .store.snapshot import (
 CACHE_DIR_ENV = "SP2B_CACHE_DIR"
 
 _STORE_TYPES = {"indexed": IndexedStore, "memory": MemoryStore}
+
+# Dataset-cache telemetry (no-ops until the global registry is enabled).
+_CACHE_HITS = get_registry().counter(
+    "sp2b_dataset_cache_hits_total",
+    "Dataset resolutions served from an existing snapshot.",
+)
+_CACHE_MISSES = get_registry().counter(
+    "sp2b_dataset_cache_misses_total",
+    "Dataset resolutions that generated (and snapshotted) the document.",
+)
 
 
 def default_cache_dir():
@@ -183,6 +194,7 @@ class DatasetCache:
                 store = load_snapshot(path, expected_kind=store_type)
                 metadata = read_snapshot_metadata(path)
                 elapsed = time.perf_counter() - started
+                _CACHE_HITS.inc()
                 return ResolvedDataset(
                     store=store,
                     path=path,
@@ -194,6 +206,7 @@ class DatasetCache:
                 )
             except SnapshotError:
                 path.unlink(missing_ok=True)
+        _CACHE_MISSES.inc()
         generator = DblpGenerator(config)
         store = _STORE_TYPES[store_type]()
         # Time generation alone: key digests and any failed load of a

@@ -18,7 +18,12 @@ Console scripts are installed via ``pyproject.toml``:
     endpoint (``GET/POST /sparql``) on a thread worker pool; ``repro
     loadtest`` replays a weighted closed-loop query mix against a running
     endpoint (``--url``) or in-process against a document, reporting
-    sustained QpS and p50/p95/p99 latency.
+    sustained QpS and p50/p95/p99 latency.  ``repro serve --metrics``
+    enables the telemetry registry and ``GET /metrics`` Prometheus
+    exposition (``--access-log``/``--slow-query-ms`` add JSON request and
+    slow-query logs); ``repro loadtest --scrape-metrics`` diffs the
+    server's metrics across the run.  ``repro query --profile`` prints the
+    traced plan with per-stage and per-step timings.
     ``repro build`` fills the dataset cache; ``repro cache {list,clear,key}``
     administers it (``key`` prints the composite key CI uses for
     ``actions/cache``).
@@ -299,6 +304,11 @@ def query_main(argv=None):
     parser.add_argument("--explain", action="store_true",
                         help="print the physical query plan with estimated "
                              "and actual per-step cardinalities")
+    parser.add_argument("--profile", action="store_true",
+                        help="execute once under per-stage tracing and print "
+                             "the timed plan: parse/plan/execute stage "
+                             "timings plus per-step time= self-times "
+                             "alongside the EXPLAIN cardinalities")
     parser.add_argument("--shards", type=int, default=1,
                         help="hash-partition the store into K segments by "
                              "subject id and evaluate with scatter-gather "
@@ -316,7 +326,10 @@ def query_main(argv=None):
         label = args.query
 
     try:
-        if args.explain:
+        if args.explain or args.profile:
+            # Both flags share the traced-explain path: the report carries
+            # per-step est/actual cardinalities, per-step time= self-times,
+            # and the parse/plan/execute stage line.
             report = engine.explain(query_text)
             print(f"{label}:")
             print(report.render())
@@ -399,7 +412,10 @@ def serve_main(argv=None):
     pool until interrupted.  By default the store is wrapped in an MVCC
     facade so updates commit as atomically-published snapshots while
     readers keep their pinned generation; ``--read-only`` rejects updates
-    with 403 instead.  ``/health`` reports readiness.
+    with 403 instead.  ``/health`` reports readiness, uptime, and worker
+    occupancy.  ``--metrics`` enables the in-process registry and exposes
+    it at ``GET /metrics``; ``--access-log`` and ``--slow-query-ms`` add
+    structured JSON request/slow-query logs.
     """
     parser = argparse.ArgumentParser(
         description="Serve a document over the W3C SPARQL Protocol."
@@ -432,6 +448,18 @@ def serve_main(argv=None):
                              "evaluation; implies --read-only (default: 1)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request access logging")
+    parser.add_argument("--metrics", action="store_true",
+                        help="enable the metrics registry and expose "
+                             "Prometheus text exposition at GET /metrics")
+    parser.add_argument("--access-log", default=None, metavar="PATH",
+                        help="write one JSON line per request (query hash, "
+                             "status, stage timings, budget consumed) to "
+                             "PATH; '-' means stderr")
+    parser.add_argument("--slow-query-ms", type=float, default=None,
+                        metavar="MS",
+                        help="log queries slower than MS milliseconds with "
+                             "their full text, EXPLAIN plan, and stage "
+                             "breakdown (to the access log, else stderr)")
     args = parser.parse_args(argv)
 
     from .server import SparqlServer
@@ -463,6 +491,20 @@ def serve_main(argv=None):
             print("scatter-gather: evaluating segments in-process "
                   "(no fork support)")
     elapsed = time.perf_counter() - start
+    telemetry = None
+    if args.metrics or args.access_log or args.slow_query_ms is not None:
+        from .obs import ServerTelemetry, enable_metrics
+        from .obs.logs import open_log_stream
+
+        if args.metrics:
+            enable_metrics()
+        telemetry = ServerTelemetry(
+            access_logger=open_log_stream(args.access_log)
+            if args.access_log else None,
+            slow_query_seconds=args.slow_query_ms / 1e3
+            if args.slow_query_ms is not None else None,
+            metrics_endpoint=args.metrics,
+        )
     server = SparqlServer(
         engine,
         host=args.host,
@@ -472,6 +514,7 @@ def serve_main(argv=None):
         max_timeout=args.max_timeout,
         verbose=not args.quiet,
         read_only=read_only,
+        telemetry=telemetry,
     )
     print(f"loaded {len(engine.store)} triples in {elapsed:.2f}s "
           f"({engine.config.name} engine"
@@ -481,10 +524,15 @@ def serve_main(argv=None):
           f"({args.workers} workers, {args.timeout:g}s default timeout); "
           f"updates at {server.update_url}; health at {server.health_url}",
           flush=True)
+    if args.metrics:
+        print(f"metrics at {server.metrics_url}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down")
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     return 0
 
 
@@ -542,6 +590,11 @@ def loadtest_main(argv=None):
                         help="fraction of operations that are SPARQL updates "
                              "(mixed read/write mode with canary torn-write "
                              "detection; default: 0 = read-only)")
+    parser.add_argument("--scrape-metrics", action="store_true",
+                        help="scrape the server's /metrics before and after "
+                             "the run (HTTP mode only; requires the server "
+                             "to run with --metrics) and print a server-side "
+                             "telemetry report alongside the client view")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of a table")
     parser.add_argument("--fail-on-error", action="store_true",
@@ -555,6 +608,21 @@ def loadtest_main(argv=None):
         print("process mode unavailable (no fork); falling back to threads",
               file=sys.stderr)
         mode = "thread"
+    scrape_before = None
+    if args.scrape_metrics:
+        if not args.url:
+            parser.error("--scrape-metrics requires --url (it reads the "
+                         "server's /metrics endpoint)")
+        from .obs import scrape as scrape_module
+
+        metrics_url = scrape_module.metrics_url_for(args.url)
+        try:
+            scrape_before = scrape_module.scrape(metrics_url)
+        except OSError as error:
+            # Best-effort: a server without --metrics (404) or an
+            # unreachable one should not abort the load test itself.
+            print(f"warning: could not scrape {metrics_url}: {error}",
+                  file=sys.stderr)
     mixed = args.update_fraction > 0
     if args.url:
         if mixed:
@@ -595,6 +663,15 @@ def loadtest_main(argv=None):
     else:
         print(reporting.workload_summary(report))
         print(reporting.workload_table(report))
+    if scrape_before is not None:
+        try:
+            scrape_after = scrape_module.scrape(metrics_url)
+        except OSError as error:
+            print(f"warning: could not scrape {metrics_url}: {error}",
+                  file=sys.stderr)
+        else:
+            print(scrape_module.format_server_report(scrape_before,
+                                                     scrape_after))
     if args.fail_on_error and (report.errors or report.torn):
         print(f"loadtest failed: {report.errors} request(s) classified as "
               f"errors, {report.torn} torn read(s)", file=sys.stderr)

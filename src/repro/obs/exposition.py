@@ -1,0 +1,82 @@
+"""Prometheus text exposition format 0.0.4, rendered from the registry.
+
+Zero dependencies: the renderer walks
+:meth:`~repro.obs.registry.MetricsRegistry.families` and emits ``# HELP`` /
+``# TYPE`` headers followed by one sample line per child.  Histograms
+expand into the conventional cumulative ``_bucket{le=...}`` series (ending
+in ``le="+Inf"``) plus ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["CONTENT_TYPE", "render"]
+
+#: The content type Prometheus scrapers expect for the text format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_help(text):
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def escape_label_value(value):
+    return (value.replace("\\", r"\\")
+                 .replace('"', r"\"")
+                 .replace("\n", r"\n"))
+
+
+def format_value(value):
+    """Integral floats as integers (counters read naturally), else repr."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def format_labels(names, values):
+    if not names:
+        return ""
+    pairs = ",".join(
+        f'{name}="{escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    )
+    return "{" + pairs + "}"
+
+
+def render(registry):
+    """The full exposition document for ``registry`` (trailing newline)."""
+    lines = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for label_values, child in family.children():
+            labels = format_labels(family.label_names, label_values)
+            if family.kind == "histogram":
+                _render_histogram(lines, family, label_values, child)
+            else:
+                lines.append(
+                    f"{family.name}{labels} {format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _render_histogram(lines, family, label_values, child):
+    counts, total_sum, count = child.snapshot()
+    cumulative = 0
+    for bound, bucket_count in zip(family.bounds, counts):
+        cumulative += bucket_count
+        labels = format_labels(
+            family.label_names + ("le",),
+            label_values + (_format_bound(bound),),
+        )
+        lines.append(f"{family.name}_bucket{labels} {cumulative}")
+    inf_labels = format_labels(
+        family.label_names + ("le",), label_values + ("+Inf",)
+    )
+    lines.append(f"{family.name}_bucket{inf_labels} {count}")
+    plain = format_labels(family.label_names, label_values)
+    lines.append(f"{family.name}_sum{plain} {format_value(total_sum)}")
+    lines.append(f"{family.name}_count{plain} {count}")
+
+
+def _format_bound(bound):
+    return format_value(bound)

@@ -1,0 +1,123 @@
+"""Structured JSON-lines logging: access records and slow-query records.
+
+One :class:`JsonLinesLogger` writes one compact JSON object per line to any
+text stream (a file opened by ``repro serve --access-log``, stderr, or a
+``StringIO`` in tests), serialized under a lock so concurrent worker
+threads never interleave partial lines.  Record *construction* lives here
+too so the field names are defined in exactly one place — the handler and
+the tests both import the builders.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import threading
+import time
+
+__all__ = [
+    "JsonLinesLogger",
+    "access_record",
+    "open_log_stream",
+    "query_hash",
+    "slow_query_record",
+]
+
+
+def query_hash(text):
+    """A short stable identifier for a query text (sha256, 16 hex chars).
+
+    Access logs carry the hash rather than the text: lines stay one-line
+    grep-able and bounded in size; the slow-query record (rare by
+    construction) carries the full text alongside the same hash so the two
+    logs join on it.
+    """
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class JsonLinesLogger:
+    """Thread-safe one-JSON-object-per-line writer over a text stream."""
+
+    def __init__(self, stream, close_on_exit=False):
+        self._stream = stream
+        self._close_on_exit = close_on_exit
+        self._lock = threading.Lock()
+
+    def log(self, record):
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+
+    def close(self):
+        if self._close_on_exit:
+            with self._lock:
+                self._stream.close()
+
+
+def open_log_stream(path):
+    """A :class:`JsonLinesLogger` for ``path`` (``-`` means stderr)."""
+    if path == "-":
+        return JsonLinesLogger(sys.stderr)
+    return JsonLinesLogger(
+        open(path, "a", encoding="utf-8"), close_on_exit=True
+    )
+
+
+def access_record(*, endpoint, method, status, trace, query_text=None,
+                  format=None, form=None, rows=None, budget_seconds=None,
+                  budget_consumed_seconds=None, cache_hit=None, extra=None):
+    """One access-log line: everything needed to diagnose one request.
+
+    Timestamps are wall-clock epoch seconds (logs are correlated across
+    machines); stage timings come from the request's
+    :class:`~repro.obs.tracing.QueryTrace` in milliseconds.
+    """
+    record = {
+        "ts": round(time.time(), 3),
+        "type": "access",
+        "endpoint": endpoint,
+        "method": method,
+        "status": status,
+        "total_ms": round(trace.total() * 1e3, 3),
+        "stages_ms": trace.stages_ms(),
+    }
+    if query_text is not None:
+        record["query_hash"] = query_hash(query_text)
+    if form is not None:
+        record["form"] = form
+    if format is not None:
+        record["format"] = format
+    if rows is not None:
+        record["rows"] = rows
+    if cache_hit is not None:
+        record["cache_hit"] = cache_hit
+    if budget_seconds is not None:
+        record["budget_s"] = budget_seconds
+        if budget_consumed_seconds is not None:
+            record["budget_consumed_s"] = round(budget_consumed_seconds, 4)
+    if extra:
+        record.update(extra)
+    return record
+
+
+def slow_query_record(*, threshold_seconds, trace, query_text, plan=None,
+                      status=None, rows=None):
+    """A slow-query line: full text + rendered plan + stage breakdown."""
+    record = {
+        "ts": round(time.time(), 3),
+        "type": "slow_query",
+        "threshold_ms": round(threshold_seconds * 1e3, 3),
+        "total_ms": round(trace.total() * 1e3, 3),
+        "stages_ms": trace.stages_ms(),
+        "query_hash": query_hash(query_text),
+        "query": query_text,
+    }
+    if status is not None:
+        record["status"] = status
+    if rows is not None:
+        record["rows"] = rows
+    if plan is not None:
+        record["plan"] = plan
+    return record

@@ -1,0 +1,83 @@
+"""Per-query trace spans: named wall-time stages of one request.
+
+A :class:`QueryTrace` accumulates ``stage name -> seconds`` in insertion
+order via the :meth:`~QueryTrace.span` context manager (or :meth:`add` for
+externally measured durations such as worker-pool queue wait).  It is the
+unit that flows from the HTTP handler through
+``SparqlEngine.prepare_cached`` so parse/plan time lands in the same record
+as execute/serialize time; the access-log and slow-query records serialize
+its stages verbatim.
+
+:data:`NULL_TRACE` is the always-no-op instance call sites use as a default
+argument — ``prepare(text, trace=NULL_TRACE)`` keeps the untraced path free
+of conditionals and timer reads.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["NULL_TRACE", "QueryTrace"]
+
+
+class QueryTrace:
+    """Ordered named stages of one query's lifecycle, in seconds."""
+
+    __slots__ = ("stages", "_started")
+
+    def __init__(self, queue_wait=None):
+        self.stages = {}
+        if queue_wait is not None:
+            self.stages["queue"] = queue_wait
+        self._started = time.perf_counter()
+
+    @contextmanager
+    def span(self, name):
+        """Time a ``with`` block into stage ``name`` (additive on repeats)."""
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - started)
+
+    def add(self, name, seconds):
+        self.stages[name] = self.stages.get(name, 0.0) + seconds
+
+    def elapsed(self):
+        """Wall seconds since this trace was created."""
+        return time.perf_counter() - self._started
+
+    def total(self):
+        """Queue wait (measured before creation) plus wall time since."""
+        return self.stages.get("queue", 0.0) + self.elapsed()
+
+    def stages_ms(self):
+        """``{stage: milliseconds}`` rounded for JSON log records."""
+        return {
+            name: round(seconds * 1e3, 3)
+            for name, seconds in self.stages.items()
+        }
+
+    def __repr__(self):
+        inner = " ".join(
+            f"{name}={seconds * 1e3:.2f}ms"
+            for name, seconds in self.stages.items()
+        )
+        return f"QueryTrace({inner})"
+
+
+class _NullTrace(QueryTrace):
+    """A trace that records nothing; safe to share across threads."""
+
+    __slots__ = ()
+
+    @contextmanager
+    def span(self, name):
+        yield self
+
+    def add(self, name, seconds):
+        pass
+
+
+NULL_TRACE = _NullTrace()

@@ -22,6 +22,14 @@ this keeps HTTP/1.1 keep-alive simple and — more importantly — means a
 deadline that expires *mid-serialization* still turns into a clean 503
 instead of a truncated 200 body.  The cursors stay streaming underneath, so
 ``LIMIT``-bounded queries never evaluate past their window.
+
+Observability (see DESIGN.md "Observability"): every request is traced
+through a :class:`~repro.obs.tracing.QueryTrace` — worker-pool queue wait,
+parse/plan (on statement-cache misses), execute, serialize — and reported
+once to the attached :class:`~repro.obs.telemetry.ServerTelemetry`, which
+drives the Prometheus registry exposed at ``GET /metrics``, the JSON access
+log, and the slow-query log.  With the default disabled registry and no
+log streams all of that collapses to a handful of no-op calls per request.
 """
 
 from __future__ import annotations
@@ -29,10 +37,14 @@ from __future__ import annotations
 import io
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from urllib.parse import urlsplit
 
+from ..obs import QueryTrace, ServerTelemetry
+from ..obs.exposition import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from ..sparql import planner, serializers
 from ..sparql.cursor import Deadline
 from ..sparql.errors import (
     ERROR_INTERNAL,
@@ -57,6 +69,10 @@ JSON_TYPE = "application/json"
 #: Readiness/liveness endpoint (used by the CI smoke job to await startup).
 HEALTH_PATH = "/health"
 
+#: Prometheus text exposition of the process metrics registry (served only
+#: when the attached telemetry enables it, e.g. ``repro serve --metrics``).
+METRICS_PATH = "/metrics"
+
 
 class ThreadPoolHTTPServer(HTTPServer):
     """An HTTPServer whose requests run on a bounded worker pool.
@@ -79,17 +95,56 @@ class ThreadPoolHTTPServer(HTTPServer):
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="sparql-worker"
         )
+        self.started_at = time.monotonic()
+        # Worker-pool observability: requests currently on workers (the
+        # /health occupancy figure and the in-flight gauge) plus the
+        # per-thread queue-wait handoff read by the request handler.
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._worker_state = threading.local()
 
     def process_request(self, request, client_address):
-        self._executor.submit(self._handle_one, request, client_address)
+        self._executor.submit(
+            self._handle_one, request, client_address, time.perf_counter()
+        )
 
-    def _handle_one(self, request, client_address):
+    def _handle_one(self, request, client_address, submitted):
+        # The handler runs on this same worker thread, so the queue wait is
+        # handed over through a thread-local (popped by the next request
+        # handled here; every handled request pops exactly once).
+        self._worker_state.queue_wait = time.perf_counter() - submitted
+        telemetry = getattr(self, "telemetry", None)
+        with self._inflight_lock:
+            self._inflight += 1
+            inflight = self._inflight
+        if telemetry is not None:
+            telemetry.inflight.set(inflight)
         try:
             self.finish_request(request, client_address)
         except Exception:  # noqa: BLE001 - mirror socketserver's error path
             self.handle_error(request, client_address)
         finally:
             self.shutdown_request(request)
+            with self._inflight_lock:
+                self._inflight -= 1
+                inflight = self._inflight
+            if telemetry is not None:
+                telemetry.inflight.set(inflight)
+
+    def pop_queue_wait(self):
+        """The queue wait of the request this worker thread is handling."""
+        wait = getattr(self._worker_state, "queue_wait", None)
+        self._worker_state.queue_wait = None
+        return wait
+
+    @property
+    def inflight(self):
+        with self._inflight_lock:
+            return self._inflight
+
+    @property
+    def uptime_seconds(self):
+        return time.monotonic() - self.started_at
 
     def server_close(self):
         super().server_close()
@@ -112,6 +167,9 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         path = urlsplit(self.path).path
         if path == HEALTH_PATH:
             self._send_health()
+            return
+        if path == METRICS_PATH:
+            self._send_metrics()
             return
         if path == UPDATE_PATH:
             # Updates change state; they are POST-only by construction.
@@ -141,6 +199,25 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
 
     def _handle_query(self, method, body):
         server = self.server
+        trace = QueryTrace(queue_wait=server.pop_queue_wait())
+        # Everything the telemetry layer wants to know about this request;
+        # filled in as the pipeline progresses, observed exactly once.
+        outcome = {
+            "status": 500, "query_text": None, "format": None, "form": None,
+            "rows": None, "budget_seconds": None,
+            "budget_consumed_seconds": None, "cache_hit": None,
+            "plan_renderer": None,
+        }
+        try:
+            self._run_query(method, body, trace, outcome)
+        finally:
+            server.telemetry.observe_request(
+                trace, endpoint=ENDPOINT_PATH, method=method, **outcome
+            )
+
+    def _run_query(self, method, body, trace, outcome):
+        """The protocol pipeline for one query request (traced)."""
+        server = self.server
         try:
             query_text, timeout = parse_query_request(
                 method,
@@ -151,27 +228,63 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             )
             format = negotiate(self.headers.get("Accept"))
         except ProtocolError as error:
+            outcome["status"] = error.status
             self._send_json(error.status, error.payload())
             return
+        outcome["query_text"] = query_text
+        outcome["format"] = format
         if timeout is None:
             timeout = server.default_timeout
+        outcome["budget_seconds"] = timeout
         try:
-            prepared = server.engine.prepare_cached(query_text)
+            prepared = server.engine.prepare_cached(query_text, trace=trace)
         except SparqlError as error:
             # Covers SparqlSyntaxError (code "parse_error") and any other
             # front-end failure; the payload carries the classification.
+            outcome["status"] = 400
             self._send_json(400, error_payload(error))
             return
+        # A cache hit skips parse+plan entirely, so those stages only
+        # appear in the trace when prepare_cached() actually prepared.
+        outcome["cache_hit"] = "parse" not in trace.stages
+        outcome["form"] = prepared.form
+        outcome["plan_renderer"] = self._plan_renderer(prepared, trace,
+                                                       outcome)
         buffer = io.StringIO()
         try:
             deadline = None if timeout is None else Deadline(timeout)
-            with prepared.run(deadline=deadline) as cursor:
-                cursor.write(buffer, format)
+            with trace.span("execute"):
+                cursor = prepared.run(deadline=deadline)
+                if cursor.form == "ASK":
+                    # The boolean was computed eagerly by run(); the cursor
+                    # itself is what the ASK serializers format.
+                    result = cursor
+                else:
+                    # Drain under the execute span: responses are buffered
+                    # anyway (see the module docstring), so materializing
+                    # here just moves the same rows one stage earlier and
+                    # cleanly separates evaluation from serialization time.
+                    result = list(cursor)
+                    outcome["rows"] = len(result)
+            with trace.span("serialize"):
+                serializers.write(buffer, prepared.variables, result, format)
+            if deadline is not None:
+                # Preserve the buffered-response guarantee: a budget that
+                # ran out during serialization is a clean 503, not a 200
+                # that arrives after the deadline passed.
+                deadline.check()
+                remaining = deadline.remaining()
+                if remaining is not None:
+                    outcome["budget_consumed_seconds"] = max(
+                        timeout - remaining, 0.0
+                    )
         except QueryTimeout as error:
+            outcome["status"] = 503
             self._send_json(503, error_payload(error),
                             extra_headers={"Retry-After": "1"})
             return
         except SparqlError as error:
+            outcome["status"] = 400
             self._send_json(400, error_payload(error))
             return
         except Exception as error:  # noqa: BLE001 - never leak a traceback
@@ -179,9 +292,45 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
                 500, error_payload(error, code=ERROR_INTERNAL)
             )
             return
+        outcome["status"] = 200
         self._send_body(200, buffer.getvalue(), CONTENT_TYPES[format])
 
+    @staticmethod
+    def _plan_renderer(prepared, trace, outcome):
+        """A lazy EXPLAIN renderer for the slow-query log.
+
+        Only invoked when the request crosses the slow-query threshold;
+        renders the prepared plan (estimates; no actuals — the query is
+        not re-executed) plus the stage timings gathered so far.
+        """
+        engine = prepared.engine
+
+        def render():
+            report = planner.ExplainReport(
+                tree=prepared.tree,
+                planner=engine.config.resolved_planner(),
+                engine=engine.config.name,
+                id_space=getattr(engine.store, "supports_id_access", False),
+                result_count=outcome["rows"] or 0,
+                elapsed=trace.stages.get("execute", 0.0),
+                stages=dict(trace.stages),
+            )
+            return report.render()
+
+        return render
+
     def _handle_update(self):
+        server = self.server
+        trace = QueryTrace(queue_wait=server.pop_queue_wait())
+        outcome = {"status": 500, "query_text": None, "extra": None}
+        try:
+            self._run_update(trace, outcome)
+        finally:
+            server.telemetry.observe_request(
+                trace, endpoint=UPDATE_PATH, method="POST", **outcome
+            )
+
+    def _run_update(self, trace, outcome):
         server = self.server
         # Drain the request body even on rejection paths: a keep-alive
         # client's next request would otherwise read leftover body bytes as
@@ -191,6 +340,7 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
         if getattr(server, "read_only", False):
             # 403, not 405: the resource exists and POST is the right verb,
             # but this deployment refuses state changes.
+            outcome["status"] = 403
             self._send_json(403, error_payload(
                 PermissionError("server is serving in read-only mode; "
                                 "updates are disabled"),
@@ -203,13 +353,17 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
                 body=body,
             )
         except ProtocolError as error:
+            outcome["status"] = error.status
             self._send_json(error.status, error.payload())
             return
+        outcome["query_text"] = update_text
         try:
-            result = server.engine.update(update_text)
+            with trace.span("execute"):
+                result = server.engine.update(update_text)
         except SparqlError as error:
             # Parse errors (code "parse_error") and evaluation failures of
             # the WHERE pattern both map to a structured 400.
+            outcome["status"] = 400
             self._send_json(400, error_payload(error))
             return
         except Exception as error:  # noqa: BLE001 - never leak a traceback
@@ -217,6 +371,8 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             return
         payload = {"ok": True}
         payload.update(result.as_dict())
+        outcome["status"] = 200
+        outcome["extra"] = result.as_dict()
         self._send_json(200, payload)
 
     # -- response plumbing -------------------------------------------------
@@ -231,6 +387,7 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
 
     def _send_health(self):
         server = self.server
+        inflight = server.inflight
         self._send_json(200, {
             "status": "ok",
             "engine": server.engine.config.name,
@@ -238,7 +395,20 @@ class SparqlRequestHandler(BaseHTTPRequestHandler):
             "workers": server.workers,
             "version": getattr(server.engine.store, "version", 0),
             "read_only": getattr(server, "read_only", False),
+            "uptime_seconds": round(server.uptime_seconds, 3),
+            # This health request itself occupies a worker, so inflight is
+            # always >= 1 here; occupancy 1.0 means the pool is saturated.
+            "inflight": inflight,
+            "occupancy": round(inflight / server.workers, 3),
         })
+
+    def _send_metrics(self):
+        telemetry = getattr(self.server, "telemetry", None)
+        if telemetry is None or not telemetry.metrics_endpoint:
+            self._send_not_found(METRICS_PATH)
+            return
+        self._send_body(200, telemetry.registry.expose(),
+                        METRICS_CONTENT_TYPE)
 
     def _send_json(self, status, payload, extra_headers=None):
         self._send_body(status, json.dumps(payload), JSON_TYPE,
@@ -272,7 +442,7 @@ class SparqlServer:
 
     def __init__(self, engine, host="127.0.0.1", port=0, workers=4,
                  default_timeout=30.0, max_timeout=None, verbose=False,
-                 read_only=False):
+                 read_only=False, telemetry=None):
         self.engine = engine
         self._httpd = ThreadPoolHTTPServer(
             (host, port), SparqlRequestHandler, workers=workers
@@ -285,7 +455,19 @@ class SparqlServer:
         )
         self._httpd.verbose = verbose
         self._httpd.read_only = read_only
+        # Telemetry is always attached: with the default (disabled) global
+        # registry and no loggers every observation is a cheap no-op, and
+        # GET /metrics answers 404 until a telemetry with
+        # ``metrics_endpoint=True`` is supplied (``repro serve --metrics``).
+        self._httpd.telemetry = (
+            telemetry if telemetry is not None else ServerTelemetry()
+        )
         self._thread = None
+
+    @property
+    def telemetry(self):
+        """The attached :class:`~repro.obs.telemetry.ServerTelemetry`."""
+        return self._httpd.telemetry
 
     @property
     def read_only(self):
@@ -313,6 +495,10 @@ class SparqlServer:
     @property
     def health_url(self):
         return f"http://{self.host}:{self.port}{HEALTH_PATH}"
+
+    @property
+    def metrics_url(self):
+        return f"http://{self.host}:{self.port}{METRICS_PATH}"
 
     def start(self):
         """Serve on a background thread; returns immediately."""

@@ -15,11 +15,11 @@ harness runs all of them and the ablation benches flip individual flags.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass
 from itertools import islice
 from typing import Optional
 
+from ..obs import NULL_TRACE, QueryTrace, get_registry
 from ..rdf.graph import Graph
 from ..store.indexed_store import IndexedStore
 from ..store.memory_store import MemoryStore
@@ -161,6 +161,23 @@ class SparqlEngine:
         # every worker thread of the SPARQL Protocol server.
         self._prepared_cache = {}
         self._prepared_lock = threading.Lock()
+        # Statement-cache telemetry: process-wide counters (all engines of
+        # the process aggregate into the same series).  Handles are cached
+        # here once; recording is a no-op while the registry is disabled.
+        registry = get_registry()
+        self._cache_hits = registry.counter(
+            "sp2b_prepared_cache_hits_total",
+            "prepare_cached() lookups answered from the statement cache.",
+        )
+        self._cache_misses = registry.counter(
+            "sp2b_prepared_cache_misses_total",
+            "prepare_cached() lookups that had to parse and plan "
+            "(first sight, stale store version, or evicted entry).",
+        )
+        self._cache_evictions = registry.counter(
+            "sp2b_prepared_cache_evictions_total",
+            "Statement-cache entries evicted by the LRU bound.",
+        )
 
     # -- loading -----------------------------------------------------------
 
@@ -227,20 +244,25 @@ class SparqlEngine:
             )
         return query, tree
 
-    def prepare(self, query_text):
+    def prepare(self, query_text, trace=NULL_TRACE):
         """Parse, translate, optimize, and cost-plan a query exactly once.
 
         Returns a :class:`PreparedQuery` whose :meth:`~PreparedQuery.run`
         executes the pre-built plan any number of times — the serving-shaped
         API for repeated query templates, where parse+plan cost is amortized
-        across executions.
+        across executions.  ``trace`` (a
+        :class:`~repro.obs.tracing.QueryTrace`) receives ``parse`` and
+        ``plan`` stage timings; the default records nothing.
         """
-        parsed, tree = self.plan(query_text)
+        with trace.span("parse"):
+            parsed = self.parse(query_text)
+        with trace.span("plan"):
+            parsed, tree = self.plan(parsed)
         if not isinstance(parsed, (AskQuery, SelectQuery)):
             raise TypeError(f"unsupported query form: {parsed!r}")
         return PreparedQuery(self, query_text, parsed, tree)
 
-    def prepare_cached(self, query_text):
+    def prepare_cached(self, query_text, trace=NULL_TRACE):
         """Like :meth:`prepare`, memoized per query text on this engine.
 
         The statement cache the benchmark runner (and any serving loop
@@ -272,14 +294,17 @@ class SparqlEngine:
                 # Re-insertion moves the entry to the back of the eviction
                 # order.
                 cache[query_text] = entry
+                self._cache_hits.inc()
                 return entry[1]
-        candidate = self.prepare(query_text)
+        self._cache_misses.inc()
+        candidate = self.prepare(query_text, trace=trace)
         with self._prepared_lock:
             entry = cache.pop(query_text, None)
             if entry is None or entry[0] != version:
                 entry = (version, candidate)
                 while len(cache) >= self.PREPARED_CACHE_SIZE:
                     cache.pop(next(iter(cache)))
+                    self._cache_evictions.inc()
             cache[query_text] = entry
             return entry[1]
 
@@ -313,18 +338,28 @@ class SparqlEngine:
         merely annotated with estimates, so the report describes exactly
         what the engine would do for :meth:`query`.  Actual counts require
         the id-space path; term-space execution reports estimates only.
+
+        The report also carries ``stages`` — parse/plan/execute wall time —
+        so ``repro query --profile`` shows where a one-shot query spends
+        its front-end versus back-end time next to the per-step ``time=``
+        column.
         """
-        parsed, tree = self.plan(query_text)
+        trace = QueryTrace()
+        with trace.span("parse"):
+            parsed = self.parse(query_text)
         mode = self.config.resolved_planner()
-        if mode != PLANNER_COST:
-            step_strategy = (
-                planner.PROBE if self.config.join_strategy == NESTED_LOOP
-                else planner.SCAN
-            )
-            tree = planner.annotate_tree(tree, self.store, strategy=step_strategy)
-        for node in algebra.walk(tree):
-            if isinstance(node, algebra.BGP) and node.plan is not None:
-                node.plan.reset_actuals()
+        with trace.span("plan"):
+            parsed, tree = self.plan(parsed)
+            if mode != PLANNER_COST:
+                step_strategy = (
+                    planner.PROBE if self.config.join_strategy == NESTED_LOOP
+                    else planner.SCAN
+                )
+                tree = planner.annotate_tree(tree, self.store,
+                                             strategy=step_strategy)
+            for node in algebra.walk(tree):
+                if isinstance(node, algebra.BGP) and node.plan is not None:
+                    node.plan.reset_actuals()
         evaluator = Evaluator(
             read_snapshot(self.store),
             strategy=self.config.join_strategy,
@@ -332,20 +367,20 @@ class SparqlEngine:
             use_id_space=self.config.use_id_space,
             observe_plans=True,
         )
-        start = time.perf_counter()
-        outcome = evaluator.evaluate(tree)
-        if isinstance(parsed, AskQuery):
-            result_count = 1 if outcome else 0
-        else:
-            result_count = sum(1 for _binding in outcome)
-        elapsed = time.perf_counter() - start
+        with trace.span("execute"):
+            outcome = evaluator.evaluate(tree)
+            if isinstance(parsed, AskQuery):
+                result_count = 1 if outcome else 0
+            else:
+                result_count = sum(1 for _binding in outcome)
         return planner.ExplainReport(
             tree=tree,
             planner=mode,
             engine=self.config.name,
             id_space=evaluator.uses_id_space,
             result_count=result_count,
-            elapsed=elapsed,
+            elapsed=trace.stages["execute"],
+            stages=dict(trace.stages),
         )
 
     def update(self, update_text):

@@ -30,6 +30,7 @@ and pattern caches can never go stale.
 from __future__ import annotations
 
 from itertools import islice
+from time import perf_counter
 
 from ..rdf.terms import Literal, Variable, term_sort_key
 from ..store.indexed_store import RUN_BY_OBJECT, RUN_BY_SUBJECT
@@ -429,12 +430,29 @@ class IdSpaceEvaluation:
 
     @staticmethod
     def _observe_rows(rows, step):
-        """Count the rows a plan step produces into ``step.actual``."""
+        """Count rows into ``step.actual`` and time pulls into ``step.seconds``.
+
+        ``seconds`` accumulates the wall time spent inside ``next()`` at
+        this boundary.  Steps are nested generators, so the measurement is
+        *cumulative*: it includes the upstream steps this one pulls
+        through.  The EXPLAIN renderer subtracts consecutive steps to show
+        per-step self time.
+        """
         if step.actual is None:
             step.actual = 0
+        if step.seconds is None:
+            step.seconds = 0.0
 
         def generate():
-            for row in rows:
+            iterator = iter(rows)
+            while True:
+                started = perf_counter()
+                try:
+                    row = next(iterator)
+                except StopIteration:
+                    step.seconds += perf_counter() - started
+                    return
+                step.seconds += perf_counter() - started
                 step.actual += 1
                 yield row
 
@@ -654,12 +672,23 @@ class IdSpaceEvaluation:
 
     @staticmethod
     def _observe_blocks(blocks, step):
-        """Count the rows a block stream produces into ``step.actual``."""
+        """Count block rows into ``step.actual`` and pull time into
+        ``step.seconds`` (cumulative, like :meth:`_observe_rows`)."""
         if step.actual is None:
             step.actual = 0
+        if step.seconds is None:
+            step.seconds = 0.0
 
         def generate():
-            for block in blocks:
+            iterator = iter(blocks)
+            while True:
+                started = perf_counter()
+                try:
+                    block = next(iterator)
+                except StopIteration:
+                    step.seconds += perf_counter() - started
+                    return
+                step.seconds += perf_counter() - started
                 step.actual += block.length
                 yield block
 

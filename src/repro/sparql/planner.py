@@ -102,6 +102,11 @@ class PlanStep:
     estimate: float = 0.0           #: estimated rows after this step (+ filters)
     actual: Optional[int] = None    #: rows observed during an EXPLAIN run
     kernel: Optional[str] = None    #: batch kernel (MERGE_JOIN/...), or tuple path
+    #: Cumulative wall seconds spent pulling through this step's observe
+    #: boundary during an EXPLAIN run.  Steps are nested generators, so a
+    #: downstream step's cumulative time includes its upstream steps; the
+    #: renderer prints the difference as per-step self time.
+    seconds: Optional[float] = None
 
 
 @dataclass
@@ -118,6 +123,7 @@ class BGPPlan:
     def reset_actuals(self):
         for step in self.steps:
             step.actual = None
+            step.seconds = None
 
 
 @dataclass
@@ -586,6 +592,9 @@ class ExplainReport:
     id_space: bool = True
     result_count: int = 0
     elapsed: float = 0.0
+    #: Front-end/back-end stage wall times in seconds (parse/plan/execute),
+    #: filled by :meth:`~repro.sparql.engine.SparqlEngine.explain`.
+    stages: dict = field(default_factory=dict)
 
     def plan_steps(self):
         """Every PlanStep of every planned BGP, in tree pre-order."""
@@ -604,6 +613,12 @@ class ExplainReport:
             f"space={'id' if self.id_space else 'term'} "
             f"rows={self.result_count} elapsed={self.elapsed:.3f}s"
         ]
+        if self.stages:
+            breakdown = " ".join(
+                f"{name}={seconds * 1e3:.2f}ms"
+                for name, seconds in self.stages.items()
+            )
+            lines.append(f"stages: {breakdown}")
         self._render_node(self.tree, 0, lines)
         return "\n".join(lines)
 
@@ -616,6 +631,7 @@ class ExplainReport:
             estimate = f" est={_fmt(plan.estimate)}" if plan is not None else ""
             lines.append(f"{pad}BGP [{len(node.patterns)} patterns]{estimate}")
             if plan is not None:
+                previous_seconds = 0.0
                 for index, step in enumerate(plan.steps, start=1):
                     join = (
                         " join=" + ",".join("?" + name for name in step.join_vars)
@@ -624,6 +640,16 @@ class ExplainReport:
                     filters = len(node.filters_at(index - 1))
                     filter_note = f" +{filters}filter" if filters else ""
                     actual = "-" if step.actual is None else str(step.actual)
+                    if step.seconds is None:
+                        time_note = ""
+                    else:
+                        # step.seconds is cumulative over the nested pull
+                        # pipeline; the difference vs the previous step is
+                        # this step's own contribution.
+                        self_seconds = max(step.seconds - previous_seconds,
+                                           0.0)
+                        previous_seconds = step.seconds
+                        time_note = f" time={self_seconds * 1e3:.2f}ms"
                     vectorized = (
                         f" vectorized=yes kernel={step.kernel}"
                         if step.kernel else " vectorized=no"
@@ -635,7 +661,7 @@ class ExplainReport:
                         f"{pad}  {index}. [{step.strategy:<5}] "
                         f"{step.pattern.n3()}{join}{filter_note} "
                         f"est={_fmt(step.estimate)} actual={actual}"
-                        f"{vectorized}{scatter}"
+                        f"{time_note}{vectorized}{scatter}"
                     )
             else:
                 for index, pattern in enumerate(node.patterns, start=1):

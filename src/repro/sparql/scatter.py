@@ -34,13 +34,49 @@ import multiprocessing
 import pickle
 import threading
 import weakref
+from time import perf_counter
 
+from ..obs import get_registry
 from .idspace import NESTED_LOOP, IdSpaceEvaluation
 from .planner import SCATTER_UNION, scatter_strategy
+
+# Scatter-layer telemetry (no-ops until the global registry is enabled).
+# Every decision that routes a BGP away from the pool is a labelled
+# fallback counter, so a serving setup can see *why* it is not scaling.
+_SCATTER_BGPS = get_registry().counter(
+    "sp2b_scatter_bgps_total",
+    "BGPs evaluated against a partitioned store, by executed strategy "
+    "(union_pool / union_sequential / broadcast).",
+    labels=("strategy",),
+)
+_SCATTER_FALLBACKS = get_registry().counter(
+    "sp2b_scatter_fallbacks_total",
+    "Union-scatter evaluations that fell back to the sequential "
+    "in-process path, by reason.",
+    labels=("reason",),
+)
+_SEGMENT_TASK_SECONDS = get_registry().histogram(
+    "sp2b_scatter_segment_task_seconds",
+    "Per-segment task latency of pooled scatters: dispatch to gathered "
+    "answer, parent-side.",
+    labels=("segment",),
+)
 
 
 class ScatterError(RuntimeError):
     """A pool-side failure; callers fall back to in-process evaluation."""
+
+
+def _fallback_reason(error):
+    """Classify a :class:`ScatterError` for the fallback counter."""
+    message = str(error)
+    if "not picklable" in message:
+        return "unpicklable"
+    if "worker died" in message:
+        return "worker_died"
+    if "closed" in message:
+        return "pool_closed"
+    return "pool_error"
 
 
 def pool_available():
@@ -70,6 +106,8 @@ class ScatterGatherEvaluation(IdSpaceEvaluation):
         # Broadcast (and every seeded/pre-bound case): the inherited
         # pipeline against the partitioned store's global view.  Bound-
         # subject probes route to one segment inside the store itself.
+        if len(segments) > 1 and node.patterns:
+            _SCATTER_BGPS.labels(strategy="broadcast").inc()
         return super()._eval_bgp(node, seeds)
 
     def _scatter_union(self, node, segments):
@@ -78,14 +116,23 @@ class ScatterGatherEvaluation(IdSpaceEvaluation):
             pool = pool_for(self._store)
             if pool is not None:
                 try:
-                    return pool.scatter(
+                    rows = pool.scatter(
                         node, self._layout.names, self._strategy,
                         self._reuse_patterns, check=self._check,
                     )
-                except ScatterError:
+                    _SCATTER_BGPS.labels(strategy="union_pool").inc()
+                    return rows
+                except ScatterError as error:
                     # A broken pool must not break the query: retire it and
                     # serve this (and future) evaluations in-process.
+                    _SCATTER_FALLBACKS.labels(
+                        reason=_fallback_reason(error)).inc()
                     disable_pool(self._store)
+            else:
+                _SCATTER_FALLBACKS.labels(reason="no_pool").inc()
+        else:
+            _SCATTER_FALLBACKS.labels(reason="explain").inc()
+        _SCATTER_BGPS.labels(strategy="union_sequential").inc()
         # Sequential per-segment evaluation.  With EXPLAIN instrumentation
         # on, this is the *required* path: the per-segment evaluations feed
         # the same PlanStep objects, so step.actual accumulates the true
@@ -193,7 +240,8 @@ def _segment_worker(index, segment, tasks, results):
 class _Gather:
     """Collection state of one in-flight scatter (K expected answers)."""
 
-    __slots__ = ("parts", "errors", "remaining", "event", "lock")
+    __slots__ = ("parts", "errors", "remaining", "event", "lock",
+                 "dispatched")
 
     def __init__(self, expected):
         self.parts = [None] * expected
@@ -201,8 +249,15 @@ class _Gather:
         self.remaining = expected
         self.event = threading.Event()
         self.lock = threading.Lock()
+        #: Set right before the tasks are enqueued; per-segment latency is
+        #: measured from here to each answer (collector-thread side).
+        self.dispatched = None
 
     def deliver(self, index, rows, error):
+        if self.dispatched is not None and error is None:
+            _SEGMENT_TASK_SECONDS.labels(segment=str(index)).observe(
+                perf_counter() - self.dispatched
+            )
         with self.lock:
             if error is not None:
                 self.errors.append(error)
@@ -279,6 +334,7 @@ class SegmentPool:
             gather = _Gather(len(self._tasks))
             self._pending[task_id] = gather
         try:
+            gather.dispatched = perf_counter()
             for tasks in self._tasks:
                 tasks.put((task_id, payload))
             while not gather.event.wait(0.2):

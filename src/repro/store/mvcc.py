@@ -27,7 +27,9 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from time import perf_counter
 
+from ..obs import get_registry
 from .base import TripleStore
 
 
@@ -87,6 +89,16 @@ class MvccStore(TripleStore):
     def __init__(self, store):
         self._current = store
         self._writer_lock = threading.RLock()
+        registry = get_registry()
+        self._lock_wait_seconds = registry.histogram(
+            "sp2b_mvcc_writer_lock_wait_seconds",
+            "Time a write transaction waited to acquire the serialized "
+            "writer lock.",
+        )
+        self._generations_published = registry.counter(
+            "sp2b_mvcc_generations_published_total",
+            "Store generations published by mutating write transactions.",
+        )
 
     # -- snapshots and versioning ------------------------------------------
 
@@ -107,13 +119,17 @@ class MvccStore(TripleStore):
         version bump (no-op updates must not invalidate prepared plans).  On
         exception nothing is published.
         """
+        lock_requested = perf_counter()
         with self._writer_lock:
+            # Reentrant acquires (nested transactions) report ~0 wait.
+            self._lock_wait_seconds.observe(perf_counter() - lock_requested)
             base = self._current
             draft = base.begin_generation()
             transaction = WriteTransaction(base, draft)
             yield transaction
             if draft.mutated:
                 self._current = draft.finish(base.version + 1)
+                self._generations_published.inc()
 
     # -- TripleStore interface ---------------------------------------------
 

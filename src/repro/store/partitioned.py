@@ -29,6 +29,7 @@ import json
 import os
 from array import array
 
+from ..obs import get_registry
 from ..rdf.triple import Triple
 from .base import TripleStore
 from .indexed_store import RUN_BY_OBJECT, RUN_BY_SUBJECT, IndexedStore, SortedRun
@@ -65,6 +66,21 @@ class PartitionedStore(TripleStore):
         self._statistics = None
         self._merged_runs = {}
         self.version = 0
+        # Shape telemetry: gauges describing the partitioning the process
+        # is currently serving (last-constructed store wins).
+        registry = get_registry()
+        registry.gauge(
+            "sp2b_partition_segments",
+            "Segment count of the most recently built partitioned store.",
+        ).set(len(segments))
+        triples_gauge = registry.gauge(
+            "sp2b_partition_segment_triples",
+            "Triples per segment of the most recently built partitioned "
+            "store.",
+            labels=("segment",),
+        )
+        for index, segment in enumerate(segments):
+            triples_gauge.labels(segment=str(index)).set(len(segment))
         #: Scatter-gather parallelism policy read by repro.sparql.scatter:
         #: None = auto (process pool when fork is available), False = always
         #: evaluate segments sequentially in-process, True = require a pool.

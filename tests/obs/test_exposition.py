@@ -1,0 +1,123 @@
+"""Exposition conformance: what a Prometheus scraper would accept.
+
+Rather than golden-file the output, these tests check the *rules* of the
+0.0.4 text format — every sample line uses a valid metric name and valid
+label names, every family has HELP and TYPE headers, histogram buckets
+are cumulative and end in ``+Inf`` agreeing with ``_count`` — and then
+round-trip the document through the scrape-side parser.
+"""
+
+import re
+
+import pytest
+
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    escape_label_value,
+    format_value,
+    render,
+)
+from repro.obs.registry import (
+    LABEL_NAME_RE,
+    METRIC_NAME_RE,
+    MetricsRegistry,
+)
+from repro.obs.scrape import parse_exposition
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[^{\s]+)(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$"
+)
+
+
+@pytest.fixture()
+def registry():
+    registry = MetricsRegistry(enabled=True)
+    requests = registry.counter("req_total", "Requests served.",
+                                labels=("endpoint", "status"))
+    requests.labels("/sparql", "200").inc(3)
+    requests.labels("/sparql", "400").inc()
+    registry.gauge("inflight", "In-flight requests.").set(2)
+    latency = registry.histogram("latency_seconds", "Latency.",
+                                 buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 0.5, 7.0):
+        latency.observe(value)
+    return registry
+
+
+def sample_lines(text):
+    return [line for line in text.splitlines()
+            if line and not line.startswith("#")]
+
+
+class TestDocumentShape:
+    def test_content_type_is_prometheus_text(self):
+        assert CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_every_family_has_help_and_type(self, registry):
+        text = render(registry)
+        for name, kind in (("req_total", "counter"), ("inflight", "gauge"),
+                           ("latency_seconds", "histogram")):
+            assert f"# TYPE {name} {kind}" in text
+            assert any(line.startswith(f"# HELP {name} ")
+                       for line in text.splitlines())
+
+    def test_every_sample_line_is_well_formed(self, registry):
+        for line in sample_lines(render(registry)):
+            match = SAMPLE_RE.match(line)
+            assert match, line
+            base = re.sub(r"_(bucket|sum|count)$", "", match["name"])
+            assert METRIC_NAME_RE.match(base), line
+            for pair in filter(None, (match["labels"] or "").split(",")):
+                label_name = pair.split("=", 1)[0]
+                assert LABEL_NAME_RE.match(label_name), line
+            float(match["value"])             # parses as a number
+
+    def test_ends_with_trailing_newline(self, registry):
+        assert render(registry).endswith("\n")
+
+
+class TestHistogramRendering:
+    def test_buckets_are_cumulative_and_end_at_inf(self, registry):
+        text = render(registry)
+        buckets = re.findall(
+            r'latency_seconds_bucket\{le="([^"]+)"\} (\d+)', text
+        )
+        assert [le for le, _count in buckets] == ["0.1", "1", "+Inf"]
+        counts = [int(count) for _le, count in buckets]
+        assert counts == sorted(counts)       # cumulative: nondecreasing
+        assert counts == [1, 3, 4]
+        assert "latency_seconds_count 4" in text
+        assert re.search(r"latency_seconds_sum 8\.05", text)
+
+    def test_inf_bucket_equals_count(self, registry):
+        snapshot = parse_exposition(render(registry))
+        assert snapshot.get("latency_seconds_bucket", le="+Inf") == \
+            snapshot.get("latency_seconds_count")
+
+
+class TestEscaping:
+    def test_label_values_escape_quotes_backslashes_newlines(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_escaped_label_round_trips_through_parser(self):
+        registry = MetricsRegistry(enabled=True)
+        family = registry.counter("odd_total", "h", labels=("text",))
+        family.labels('say "hi"\n').inc(5)
+        snapshot = parse_exposition(render(registry))
+        assert snapshot.get("odd_total", text='say "hi"\n') == 5
+
+
+class TestValueFormatting:
+    def test_integral_floats_render_as_integers(self):
+        assert format_value(3.0) == "3"
+        assert format_value(0.25) == "0.25"
+
+
+class TestRoundTrip:
+    def test_parser_recovers_every_counter_and_gauge(self, registry):
+        snapshot = parse_exposition(render(registry))
+        assert snapshot.get("req_total", endpoint="/sparql", status="200") == 3
+        assert snapshot.get("req_total", endpoint="/sparql", status="400") == 1
+        assert snapshot.sum("req_total") == 4
+        assert snapshot.get("inflight") == 2

@@ -181,6 +181,10 @@ class TestHealthAndConcurrency:
         assert payload["status"] == "ok"
         assert payload["triples"] == len(server.engine.store)
         assert payload["workers"] == 4
+        assert payload["uptime_seconds"] >= 0
+        # The health request itself is being handled by a worker right now.
+        assert payload["inflight"] >= 1
+        assert 0 < payload["occupancy"] <= 1
 
     def test_concurrent_clients_get_identical_answers(self, server):
         url = query_url(server, SELECT_QUERY)

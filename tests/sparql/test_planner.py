@@ -274,6 +274,28 @@ class TestExplain:
         assert not report.id_space
         assert all(step.actual is None for step in steps)
 
+    def test_explain_renders_stage_timings(self, cost_engine):
+        report = cost_engine.explain(get_query("Q4").text)
+        text = report.render()
+        assert "stages:" in text
+        for stage in ("parse=", "plan=", "execute="):
+            assert stage in text
+        # The stage line reports the same values the report carries.
+        assert set(report.stages) >= {"parse", "plan", "execute"}
+        assert report.elapsed == report.stages["execute"]
+
+    def test_explain_renders_per_step_self_times(self, cost_engine):
+        report = cost_engine.explain(get_query("Q4").text)
+        text = report.render()
+        steps = [step for step in report.plan_steps()
+                 if step.seconds is not None]
+        assert steps
+        assert text.count("time=") == len(steps)
+        # step.seconds is cumulative pull time, so it never decreases along
+        # one BGP's probe chain and never exceeds the execute stage total.
+        assert max(step.seconds for step in steps) <= \
+            report.stages["execute"] + 1e-6
+
 
 class TestSeededEvaluation:
     def test_bind_join_matches_hash_join_results(self, generated_graph_small):

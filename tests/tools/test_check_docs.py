@@ -90,3 +90,50 @@ def test_continuation_lines_are_joined(tmp_path, capsys):
     (root / "src").symlink_to(_REPO_ROOT / "src")
     assert check_docs.main([str(root)]) == 1
     assert "--bogus-continued-flag" in capsys.readouterr().out
+
+
+def _metrics_repo(tmp_path, source, doc):
+    root = _fake_repo(tmp_path, "# Title\n")
+    (root / "src" / "mod.py").write_text(source)
+    if doc is not None:
+        (root / "docs" / "metrics.md").write_text(doc)
+    return root
+
+
+def test_undocumented_metric_fails(tmp_path, capsys):
+    root = _metrics_repo(
+        tmp_path,
+        'X = reg.counter(\n    "sp2b_widgets_total",\n    "Widgets.")\n',
+        "# Metrics\n\nnothing here\n",
+    )
+    assert check_docs.main([str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "sp2b_widgets_total" in out and "not documented" in out
+
+
+def test_unregistered_metric_fails(tmp_path, capsys):
+    root = _metrics_repo(
+        tmp_path, "\n", "# Metrics\n\n`sp2b_ghost_total` haunts.\n"
+    )
+    assert check_docs.main([str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "sp2b_ghost_total" in out and "no longer registered" in out
+
+
+def test_metrics_in_sync_pass_with_suffixed_mentions(tmp_path):
+    root = _metrics_repo(
+        tmp_path,
+        'H = reg.histogram("sp2b_wait_seconds", "Wait.")\n',
+        "# Metrics\n\n`sp2b_wait_seconds` expands into "
+        "`sp2b_wait_seconds_bucket` / `sp2b_wait_seconds_sum` / "
+        "`sp2b_wait_seconds_count`.\n",
+    )
+    assert check_docs.main([str(root)]) == 0
+
+
+def test_missing_metrics_doc_fails_only_with_registrations(tmp_path, capsys):
+    root = _metrics_repo(
+        tmp_path, 'G = reg.gauge("sp2b_depth", "Depth.")\n', None
+    )
+    assert check_docs.main([str(root)]) == 1
+    assert "docs/metrics.md: missing" in capsys.readouterr().out

@@ -1,6 +1,6 @@
 """Fail CI when the docs drift from the repo or the CLI.
 
-Two independent checks over README.md, DESIGN.md, and docs/*.md:
+Three independent checks over README.md, DESIGN.md, and docs/*.md:
 
 1. **Intra-repo links.**  Every relative markdown link must point at a
    file that exists, and every ``#anchor`` fragment must match a
@@ -11,6 +11,11 @@ Two independent checks over README.md, DESIGN.md, and docs/*.md:
    README console block is checked against the live CLI: the subcommand
    must exist, and every ``--flag`` the line uses must appear in that
    subcommand's ``--help`` output.
+
+3. **Metrics reference drift.**  Every ``sp2b_*`` series registered in
+   ``src/repro`` (a ``.counter(``/``.gauge(``/``.histogram(`` call) must
+   appear in ``docs/metrics.md``, and every ``sp2b_*`` name that page
+   documents must still be registered somewhere in the source tree.
 
 Exit status is non-zero iff any check fails; every failure is reported
 with file and line.  Run from anywhere:
@@ -31,6 +36,12 @@ FENCE_RE = re.compile(r"^(```|~~~)")
 SLUG_DROP_RE = re.compile(r"[^\w\- ]", re.UNICODE)
 COMMAND_RE = re.compile(r"^\$ (repro\s.*)$")
 FLAG_RE = re.compile(r"--[A-Za-z][A-Za-z0-9-]*")
+#: a registry registration call; the name literal may sit on the next line
+METRIC_REGISTRATION_RE = re.compile(
+    r"\.(?:counter|gauge|histogram)\(\s*\"(sp2b_[a-z0-9_]+)\"")
+METRIC_NAME_TOKEN_RE = re.compile(r"sp2b_[a-z0-9_]+")
+#: per-sample suffixes histograms expand into — not separate series
+METRIC_SUFFIX_RE = re.compile(r"_(?:bucket|sum|count)$")
 
 
 def doc_files(root):
@@ -166,6 +177,52 @@ def check_commands(root, errors):
                     )
 
 
+def registered_metric_names(root):
+    """Map sp2b series name -> "file:line" of its registration call."""
+    registered = {}
+    for path in sorted((root / "src").rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in METRIC_REGISTRATION_RE.finditer(text):
+            lineno = text.count("\n", 0, match.start(1)) + 1
+            registered.setdefault(
+                match.group(1), f"{path.relative_to(root)}:{lineno}")
+    return registered
+
+
+def documented_metric_names(metrics_doc):
+    """Map sp2b series name -> first line mentioning it in metrics.md."""
+    documented = {}
+    for lineno, line in enumerate(
+            metrics_doc.read_text(encoding="utf-8").splitlines(), start=1):
+        for token in METRIC_NAME_TOKEN_RE.findall(line):
+            documented.setdefault(METRIC_SUFFIX_RE.sub("", token), lineno)
+    return documented
+
+
+def check_metrics_reference(root, errors):
+    metrics_doc = root / "docs" / "metrics.md"
+    registered = registered_metric_names(root)
+    if not metrics_doc.is_file():
+        # A tree with no registered series needs no reference page.
+        if registered:
+            errors.append(
+                f"docs/metrics.md: missing, but {len(registered)} sp2b_* "
+                f"series are registered under src/"
+            )
+        return
+    documented = documented_metric_names(metrics_doc)
+    for name in sorted(set(registered) - set(documented)):
+        errors.append(
+            f"{registered[name]}: metric {name!r} is registered but not "
+            f"documented in docs/metrics.md"
+        )
+    for name in sorted(set(documented) - set(registered)):
+        errors.append(
+            f"docs/metrics.md:{documented[name]}: metric {name!r} is "
+            f"documented but no longer registered under src/"
+        )
+
+
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
     root = (Path(argv[0]) if argv else Path(__file__).resolve().parent.parent)
@@ -173,6 +230,7 @@ def main(argv=None):
     errors = []
     check_links(root, errors)
     check_commands(root, errors)
+    check_metrics_reference(root, errors)
     if errors:
         print(f"docs check failed ({len(errors)} problem(s)):")
         for error in errors:
